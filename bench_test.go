@@ -1,0 +1,381 @@
+package ndmesh
+
+// One benchmark per experiment of DESIGN.md's index. Each benchmark both
+// times the underlying machinery and reports the experiment's headline
+// quantities via b.ReportMetric, so `go test -bench=. -benchmem` regenerates
+// the per-experiment numbers recorded in EXPERIMENTS.md alongside the
+// throughput of the implementation.
+
+import (
+	"testing"
+
+	"ndmesh/internal/block"
+	"ndmesh/internal/boundary"
+	"ndmesh/internal/core"
+	"ndmesh/internal/frame"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/ident"
+	"ndmesh/internal/info"
+	"ndmesh/internal/mesh"
+)
+
+// fig1Faults is the running example of the paper.
+var fig1Faults = []grid.Coord{{3, 5, 4}, {4, 5, 4}, {5, 5, 3}, {3, 6, 3}}
+
+// BenchmarkFig1BlockConstruction (E1): Algorithm 1 stabilization on the
+// Figure 1 scenario.
+func BenchmarkFig1BlockConstruction(b *testing.B) {
+	m, _ := mesh.NewUniform(3, 10)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		var seeds []grid.NodeID
+		for _, c := range fig1Faults {
+			id := m.Shape().Index(c)
+			m.Fail(id)
+			seeds = append(seeds, id)
+		}
+		res := block.Stabilize(m, seeds...)
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "a_rounds")
+}
+
+// BenchmarkFig2FrameClassify (E2): frame-level detection around the block.
+func BenchmarkFig2FrameClassify(b *testing.B) {
+	m, _ := mesh.NewUniform(3, 10)
+	var seeds []grid.NodeID
+	for _, c := range fig1Faults {
+		id := m.Shape().Index(c)
+		m.Fail(id)
+		seeds = append(seeds, id)
+	}
+	block.Stabilize(m, seeds...)
+	b.ResetTimer()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		det := frame.NewDetector(m)
+		det.Seed(seeds...)
+		rounds = det.Run()
+	}
+	b.ReportMetric(float64(rounds), "frame_rounds")
+}
+
+// BenchmarkFig3BoundaryConstruction (E3): the boundary flood over the
+// block's placement.
+func BenchmarkFig3BoundaryConstruction(b *testing.B) {
+	m, _ := mesh.NewUniform(3, 10)
+	for _, c := range fig1Faults {
+		m.FailAt(c)
+	}
+	block.StabilizeFull(m)
+	box := grid.NewBox(grid.Coord{3, 5, 3}, grid.Coord{5, 6, 4})
+	corner := m.Shape().Index(grid.Coord{6, 4, 5})
+	b.ResetTimer()
+	var rounds, visits int
+	for i := 0; i < b.N; i++ {
+		store := info.NewStore(m.NumNodes())
+		p := boundary.NewProtocol(m, store)
+		c := p.Start(box, 1, boundary.Deposit, []grid.NodeID{corner})
+		for !p.Quiescent() {
+			p.Round()
+		}
+		rounds, visits = c.Rounds, store.TotalRecords()
+	}
+	b.ReportMetric(float64(rounds), "c_rounds")
+	b.ReportMetric(float64(visits), "records")
+}
+
+// BenchmarkFig4Recovery (E4): the clean-wave reconstruction after a
+// recovery.
+func BenchmarkFig4Recovery(b *testing.B) {
+	m, _ := mesh.NewUniform(3, 10)
+	var seeds []grid.NodeID
+	for _, c := range fig1Faults {
+		id := m.Shape().Index(c)
+		m.Fail(id)
+		seeds = append(seeds, id)
+	}
+	block.Stabilize(m, seeds...)
+	snap := m.Snapshot()
+	rec := m.Shape().Index(grid.Coord{5, 5, 3})
+	b.ResetTimer()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		m.Restore(snap)
+		m.Recover(rec)
+		res := block.Stabilize(m, rec)
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "recovery_rounds")
+}
+
+// BenchmarkFig5Identification (E5): the 3-phase distributed identification.
+func BenchmarkFig5Identification(b *testing.B) {
+	m, _ := mesh.NewUniform(3, 10)
+	var seeds []grid.NodeID
+	for _, c := range fig1Faults {
+		id := m.Shape().Index(c)
+		m.Fail(id)
+		seeds = append(seeds, id)
+	}
+	block.Stabilize(m, seeds...)
+	det := frame.NewDetector(m)
+	det.Seed(seeds...)
+	det.Run()
+	b.ResetTimer()
+	var rounds, hops int
+	for i := 0; i < b.N; i++ {
+		store := info.NewStore(m.NumNodes())
+		p := ident.NewProtocol(m, det, store)
+		p.OnIdentified = func(grid.Box, grid.NodeID) {}
+		for id := 0; id < m.NumNodes(); id++ {
+			if det.Announcement(grid.NodeID(id)).Level > 0 {
+				p.Notify(grid.NodeID(id))
+			}
+		}
+		rounds = 0
+		for !p.Quiescent() {
+			p.Round()
+			rounds++
+		}
+		hops = p.Hops
+	}
+	b.ReportMetric(float64(rounds), "b_rounds")
+	b.ReportMetric(float64(hops), "ident_hops")
+}
+
+// BenchmarkFig6InfoPropagation (E6): the full pipeline from faults to
+// records at every frame node and wall.
+func BenchmarkFig6InfoPropagation(b *testing.B) {
+	var records int
+	for i := 0; i < b.N; i++ {
+		m, _ := mesh.NewUniform(3, 10)
+		md := core.New(m)
+		for _, c := range fig1Faults {
+			md.ApplyFault(m.Shape().Index(c))
+		}
+		md.Stabilize()
+		records = md.Store.TotalRecords()
+	}
+	b.ReportMetric(float64(records), "records")
+}
+
+// BenchmarkFig7StepEngine (E7): raw step throughput of the execution model
+// with an idle information plane (the per-step overhead floor).
+func BenchmarkFig7StepEngine(b *testing.B) {
+	sim := MustSimulation(Config{Dims: []int{16, 16}, Lambda: 2})
+	sim.FailNow(C(8, 8))
+	sim.Stabilize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunSteps(1)
+	}
+}
+
+// BenchmarkTable1Notation (E8): a full dynamic run producing every Table 1
+// quantity.
+func BenchmarkTable1Notation(b *testing.B) {
+	var events int
+	for i := 0; i < b.N; i++ {
+		sim := MustSimulation(Config{Dims: []int{12, 12}, Lambda: 2})
+		if err := sim.GenerateFaults(FaultPlan{Faults: 3, Interval: 40, Start: 2, Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+		sim.Drain()
+		events = len(sim.Events())
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+// BenchmarkTheorem1Recovery (E9): routing across a dissolving block.
+func BenchmarkTheorem1Recovery(b *testing.B) {
+	var extra int
+	for i := 0; i < b.N; i++ {
+		sim := MustSimulation(Config{Dims: []int{16, 16}, Lambda: 2})
+		sim.FailNow(C(7, 7))
+		sim.FailNow(C(8, 8))
+		sim.Stabilize()
+		sim.ScheduleRecovery(4, C(8, 8))
+		res, err := sim.Route(C(2, 3), C(13, 12), "limited")
+		if err != nil {
+			b.Fatal(err)
+		}
+		extra = res.ExtraHops
+	}
+	b.ReportMetric(float64(extra), "extra_hops")
+}
+
+// BenchmarkTheorem2Safety (E10): the safe/unsafe classification.
+func BenchmarkTheorem2Safety(b *testing.B) {
+	sim := MustSimulation(Config{Dims: []int{16, 16}, Lambda: 1})
+	sim.FailNow(C(7, 7))
+	sim.FailNow(C(10, 4))
+	sim.Stabilize()
+	blocks := sim.Blocks()
+	src, dst := C(1, 1), C(14, 14)
+	b.ResetTimer()
+	safe := false
+	for i := 0; i < b.N; i++ {
+		safe = ClassifySource(blocks, src, dst)
+	}
+	_ = safe
+}
+
+// BenchmarkTheorem3Progress (E11) / BenchmarkTheorem4Detours (E12) /
+// BenchmarkTheorem5Unsafe (E13): the randomized bound-validation sweep.
+func BenchmarkTheorem3Progress(b *testing.B) {
+	benchTheorems(b, []int{16, 16}, 5)
+}
+
+func BenchmarkTheorem4Detours(b *testing.B) {
+	benchTheorems(b, []int{12, 12}, 8)
+}
+
+func BenchmarkTheorem5Unsafe(b *testing.B) {
+	benchTheorems(b, []int{10, 10, 10}, 3)
+}
+
+func benchTheorems(b *testing.B, dims []int, trials int) {
+	b.Helper()
+	var viol int
+	for i := 0; i < b.N; i++ {
+		rep, err := TheoremSweep(dims, trials, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		viol = rep.Violations3 + rep.Violations4 + rep.Violations5
+		if viol != 0 {
+			b.Fatalf("theorem violations: %+v", rep)
+		}
+	}
+	b.ReportMetric(float64(viol), "violations")
+}
+
+// BenchmarkConvergenceSweep (E14): the convergence study.
+func BenchmarkConvergenceSweep(b *testing.B) {
+	var maxB int
+	for i := 0; i < b.N; i++ {
+		rows, err := ConvergenceSweep([][]int{{16, 16}, {8, 8, 8}}, 3, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxB = 0
+		for _, r := range rows {
+			if r.BRounds > maxB {
+				maxB = r.BRounds
+			}
+		}
+	}
+	b.ReportMetric(float64(maxB), "max_b_rounds")
+}
+
+// BenchmarkDegradationSweep (E15): routing under dynamic faults, all three
+// routers (reduced trial count: the full table is cmd/sweep's job).
+func BenchmarkDegradationSweep(b *testing.B) {
+	opt := DefaultDegradation()
+	opt.Trials = 4
+	opt.Intervals = []int{4, 32}
+	var blindExtra float64
+	for i := 0; i < b.N; i++ {
+		rows, err := DegradationSweep(opt, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Router == "blind" {
+				blindExtra = r.MeanExtra
+			}
+		}
+	}
+	b.ReportMetric(blindExtra, "blind_extra")
+}
+
+// BenchmarkLambdaSweep (E15b): the λ ablation.
+func BenchmarkLambdaSweep(b *testing.B) {
+	var limExtra float64
+	for i := 0; i < b.N; i++ {
+		rows, err := LambdaSweep([]int{16, 16}, []int{1, 8}, 5, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Router == "limited" && r.Lambda == 8 {
+				limExtra = r.MeanExtra
+			}
+		}
+	}
+	b.ReportMetric(limExtra, "limited_extra_at_l8")
+}
+
+// BenchmarkMemorySweep (E16): the memory-footprint study.
+func BenchmarkMemorySweep(b *testing.B) {
+	var records int
+	for i := 0; i < b.N; i++ {
+		rows, err := MemorySweep([][]int{{16, 16}}, []int{4}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = rows[0].Records
+	}
+	b.ReportMetric(float64(records), "records")
+}
+
+// BenchmarkOscillationSweep (E17): churn and locality under short
+// intervals.
+func BenchmarkOscillationSweep(b *testing.B) {
+	var affected float64
+	for i := 0; i < b.N; i++ {
+		rows, err := OscillationSweep([]int{16, 16}, 4, []int{4}, 3, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		affected = rows[0].MeanAffected
+	}
+	b.ReportMetric(affected, "affected_per_event")
+}
+
+// BenchmarkRouterStep times one routing decision of each router on a mesh
+// with blocks and full information in place (the per-hop cost).
+func BenchmarkRouterStep(b *testing.B) {
+	for _, name := range []string{"limited", "blind", "oracle", "dor"} {
+		b.Run(name, func(b *testing.B) {
+			sim := MustSimulation(Config{Dims: []int{16, 16}, Lambda: 1})
+			sim.FailNow(C(7, 7))
+			sim.FailNow(C(8, 8))
+			sim.Stabilize()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				simCopy := sim // decisions do not mutate the fabric
+				b.StartTimer()
+				res, err := simCopy.Route(C(1, 1), C(14, 14), name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Arrived && name != "dor" {
+					b.Fatalf("%s did not arrive: %+v", name, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLabelingScale measures Algorithm 1 throughput vs. mesh size (the
+// reactive protocol must be O(block), not O(N)).
+func BenchmarkLabelingScale(b *testing.B) {
+	for _, k := range []int{16, 32, 64} {
+		b.Run(grid.MustShape(k, k).String(), func(b *testing.B) {
+			m, _ := mesh.NewUniform(2, k)
+			mid := grid.Coord{k / 2, k / 2}
+			mid2 := grid.Coord{k/2 + 1, k/2 + 1}
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				ids := []grid.NodeID{m.Shape().Index(mid), m.Shape().Index(mid2)}
+				m.Fail(ids[0])
+				m.Fail(ids[1])
+				block.Stabilize(m, ids...)
+			}
+		})
+	}
+}

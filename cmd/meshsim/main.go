@@ -1,0 +1,150 @@
+// meshsim runs one dynamic-fault routing simulation from the command line:
+// it builds a k-ary n-D mesh, schedules random faults (and optionally
+// recoveries), routes a message under a chosen router, and reports the
+// routing metrics, the per-occurrence convergence of the information
+// constructions, and (for 2-D meshes) an ASCII picture of the final state.
+//
+// Examples:
+//
+//	meshsim -dims 16x16 -faults 6 -interval 20 -router limited -seed 7
+//	meshsim -dims 10x10x10 -faults 4 -interval 40 -router blind
+//	meshsim -dims 16x16 -faults 5 -recover-after 60 -render
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ndmesh"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("meshsim: ")
+	var (
+		dimsFlag     = flag.String("dims", "16x16", "mesh dimensions, e.g. 16x16 or 10x10x10")
+		faults       = flag.Int("faults", 4, "number of dynamic faults F")
+		interval     = flag.Int("interval", 20, "steps between fault occurrences d_i")
+		start        = flag.Int("start", 2, "step of the first fault t_1")
+		recoverAfter = flag.Int("recover-after", 0, "recover each fault after this many steps (0 = never)")
+		router       = flag.String("router", "limited", "router: limited | oracle | blind | dor")
+		lambda       = flag.Int("lambda", 2, "information rounds per step (λ)")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		srcFlag      = flag.String("src", "", "source coordinate, e.g. 1,1 (default: low corner + 1)")
+		dstFlag      = flag.String("dst", "", "destination coordinate (default: high corner - 1)")
+		render       = flag.Bool("render", false, "print an ASCII picture of the final 2-D slice")
+		clustered    = flag.Bool("clustered", false, "grow one block instead of scattering faults")
+	)
+	flag.Parse()
+
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := ndmesh.NewSimulation(ndmesh.Config{Dims: dims, Lambda: *lambda})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src, dst := defaultEndpoints(dims)
+	if *srcFlag != "" {
+		if src, err = parseCoord(*srcFlag, len(dims)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *dstFlag != "" {
+		if dst, err = parseCoord(*dstFlag, len(dims)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := sim.GenerateFaults(ndmesh.FaultPlan{
+		Faults:       *faults,
+		Interval:     *interval,
+		Start:        *start,
+		RecoverAfter: *recoverAfter,
+		Clustered:    *clustered,
+		Avoid:        []ndmesh.Coord{src, dst},
+		Seed:         *seed,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sim.Route(src, dst, *router)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mesh %v, %d nodes, router %s, λ=%d, seed %d\n",
+		dims, sim.NumNodes(), *router, *lambda, *seed)
+	fmt.Printf("route %v -> %v (distance %d)\n", src, dst, res.D0)
+	status := "arrived"
+	switch {
+	case res.Unreachable:
+		status = "unreachable"
+	case res.Lost:
+		status = "lost"
+	}
+	fmt.Printf("  %s in %d steps: %d hops, %d extra, %d backtracks\n",
+		status, res.Steps, res.Hops, res.ExtraHops, res.Backtracks)
+
+	sim.Drain() // fire any remaining scheduled events and settle
+	fmt.Printf("\nfaulty blocks: %v\n", sim.Blocks())
+	fmt.Printf("info records: %d on %d of %d nodes\n",
+		sim.InfoRecords(), sim.NodesWithInfo(), sim.NumNodes())
+	fmt.Println("\nper-occurrence convergence (rounds):")
+	fmt.Printf("  %-3s %-6s %-8s %5s %5s %5s %9s %6s\n", "i", "step", "kind", "a_i", "b_i", "c_i", "affected", "e_max")
+	for _, ev := range sim.Events() {
+		fmt.Printf("  %-3d %-6d %-8s %5d %5d %5d %9d %6d\n",
+			ev.Index, ev.Step, ev.Kind, ev.ARounds, ev.BRounds, ev.CRounds, ev.Affected, ev.EMaxAfter)
+	}
+
+	if *render && len(dims) >= 2 {
+		fmt.Println("\nfinal state ('X' faulty, '#' disabled, 'o' holds block info):")
+		fmt.Print(sim.Render(nil))
+	}
+	os.Exit(0)
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimensions %q: %v", s, err)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func parseCoord(s string, n int) (ndmesh.Coord, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("coordinate %q needs %d components", s, n)
+	}
+	c := make(ndmesh.Coord, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad coordinate %q: %v", s, err)
+		}
+		c[i] = v
+	}
+	return c, nil
+}
+
+func defaultEndpoints(dims []int) (ndmesh.Coord, ndmesh.Coord) {
+	src := make(ndmesh.Coord, len(dims))
+	dst := make(ndmesh.Coord, len(dims))
+	for i, k := range dims {
+		src[i] = 1
+		dst[i] = k - 2
+	}
+	return src, dst
+}

@@ -1,0 +1,185 @@
+// sweep regenerates the experiment tables of EXPERIMENTS.md: the
+// convergence, degradation, λ-ablation, memory and oscillation studies
+// (E14-E17 of DESIGN.md) and the randomized validation of Theorems 3-5
+// (E11-E13). Each experiment prints one aligned table; -csv switches to
+// comma-separated output.
+//
+// Examples:
+//
+//	sweep -exp all
+//	sweep -exp degradation -trials 100 -seed 7
+//	sweep -exp theorems -trials 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ndmesh"
+	"ndmesh/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		exp    = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | all")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		trials = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func() (*stats.Table, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		tab, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Println(tab.String())
+		}
+	}
+
+	run("convergence", func() (*stats.Table, error) { return convergenceTable(*seed) })
+	run("degradation", func() (*stats.Table, error) { return degradationTable(*seed, *trials) })
+	run("lambda", func() (*stats.Table, error) { return lambdaTable(*seed, *trials) })
+	run("memory", func() (*stats.Table, error) { return memoryTable(*seed) })
+	run("oscillation", func() (*stats.Table, error) { return oscillationTable(*seed, *trials) })
+	run("theorems", func() (*stats.Table, error) { return theoremsTable(*seed, *trials) })
+	run("traffic", func() (*stats.Table, error) { return trafficTable(*seed) })
+
+	if *exp != "all" {
+		switch *exp {
+		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic":
+		default:
+			log.Printf("unknown experiment %q", *exp)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+}
+
+func trafficTable(seed uint64) (*stats.Table, error) {
+	tab := stats.NewTable("E18 traffic: 24 concurrent messages, 16x16, 8 dynamic faults",
+		"interval", "router", "arrived%", "extra (mean)", "backtracks", "max steps")
+	for _, interval := range []int{4, 16} {
+		rows, err := ndmesh.TrafficSweep([]int{16, 16}, 24, 8, interval, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			tab.AddRow(interval, r.Router, r.ArrivedPct, r.MeanExtra, r.TotalBack, r.MaxSteps)
+		}
+	}
+	return tab, nil
+}
+
+func convergenceTable(seed uint64) (*stats.Table, error) {
+	rows, err := ndmesh.ConvergenceSweep([][]int{
+		{16, 16}, {24, 24}, {10, 10, 10}, {6, 6, 6, 6}, {5, 5, 5, 5, 5},
+	}, 4, seed)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("E14 convergence: one growing block per mesh (rounds)",
+		"mesh", "N", "fault#", "e_max", "a_i", "b_i", "c_i", "affected", "records")
+	for _, r := range rows {
+		tab.AddRow(r.Dims, r.N, r.FaultIndex, r.EMax, r.ARounds, r.BRounds, r.CRounds, r.Affected, r.Records)
+	}
+	return tab, nil
+}
+
+func degradationTable(seed uint64, trials int) (*stats.Table, error) {
+	opt := ndmesh.DefaultDegradation()
+	if trials > 0 {
+		opt.Trials = trials
+	}
+	rows, err := ndmesh.DegradationSweep(opt, seed)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("E15 degradation: %v, F=%d, %d trials/cell (routing under dynamic faults)",
+			opt.Dims, opt.Faults, opt.Trials),
+		"interval", "router", "success%", "steps", "extra", "backtracks", "p95 extra")
+	for _, r := range rows {
+		tab.AddRow(r.Interval, r.Router, r.SuccessPct, r.MeanSteps, r.MeanExtra, r.MeanBack, r.P95Extra)
+	}
+	return tab, nil
+}
+
+func lambdaTable(seed uint64, trials int) (*stats.Table, error) {
+	if trials == 0 {
+		trials = 30
+	}
+	rows, err := ndmesh.LambdaSweep([]int{16, 16}, []int{1, 2, 4, 8}, trials, seed)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("E15b lambda ablation: 16x16, clustered faults under the message, %d trials", trials),
+		"lambda", "router", "success%", "extra hops", "backtracks")
+	for _, r := range rows {
+		tab.AddRow(r.Lambda, r.Router, r.SuccessPct, r.MeanExtra, r.MeanBack)
+	}
+	return tab, nil
+}
+
+func memoryTable(seed uint64) (*stats.Table, error) {
+	rows, err := ndmesh.MemorySweep([][]int{
+		{16, 16}, {32, 32}, {10, 10, 10}, {6, 6, 6, 6},
+	}, []int{2, 4, 8}, seed)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("E16 memory: limited-information records vs. global tables",
+		"mesh", "N", "F", "records", "nodes w/ info", "% of N", "global N*F")
+	for _, r := range rows {
+		tab.AddRow(r.Dims, r.N, r.Faults, r.Records, r.NodesWithInfo, r.NodePct, r.GlobalEntries)
+	}
+	return tab, nil
+}
+
+func oscillationTable(seed uint64, trials int) (*stats.Table, error) {
+	if trials == 0 {
+		trials = 20
+	}
+	rows, err := ndmesh.OscillationSweep([]int{16, 16}, 6, []int{2, 4, 8, 16, 32}, trials, seed)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("E17 oscillation/locality: 16x16, 6 clustered faults, %d trials", trials),
+		"interval", "affected/event", "a rounds (mean)", "a rounds (max)")
+	for _, r := range rows {
+		tab.AddRow(r.Interval, r.MeanAffected, r.MeanARounds, r.MaxARounds)
+	}
+	return tab, nil
+}
+
+func theoremsTable(seed uint64, trials int) (*stats.Table, error) {
+	if trials == 0 {
+		trials = 60
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("E11-E13 theorem validation: randomized conforming schedules, %d trials/mesh", trials),
+		"mesh", "trials", "safe", "unsafe", "skipped", "arrived", "viol T3", "viol T4", "viol T5", "extra (mean)", "bound (mean)")
+	for _, dims := range [][]int{{16, 16}, {10, 10, 10}} {
+		rep, err := ndmesh.TheoremSweep(dims, trials, seed)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(strings.Trim(fmt.Sprint(dims), "[]"), rep.Trials, rep.SafeTrials, rep.UnsafeTrials,
+			rep.PremiseSkipped, rep.Arrived, rep.Violations3, rep.Violations4, rep.Violations5,
+			rep.MeanExtraHops, rep.MeanDetourBound)
+	}
+	return tab, nil
+}

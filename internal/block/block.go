@@ -1,0 +1,324 @@
+// Package block implements Algorithm 1 of the paper: the synchronous
+// enabled/disabled/clean labeling that contains all faulty nodes in disjoint
+// rectangular faulty blocks (Definitions 1 and 4), plus the centralized
+// oracle that extracts the stabilized blocks directly.
+//
+// The protocol is reactive: after a fault or recovery event only the nodes
+// whose neighborhood changed are re-evaluated, exactly as the paper's model
+// requires ("only those affected nodes need to update fault information").
+// One call to Stepper.Round is one synchronous round of status exchange and
+// update; the number of rounds until quiescence after fault occurrence i is
+// the paper's a_i.
+package block
+
+import (
+	"sort"
+
+	"ndmesh/internal/grid"
+	"ndmesh/internal/mesh"
+)
+
+// maxRoundsFactor bounds stabilization length as a safety net. The clean
+// wave crosses the mesh at one hop per round and every node changes status a
+// bounded number of times per wave, so 8*diameter is far beyond any legal
+// convergence; exceeding it indicates a protocol bug.
+const maxRoundsFactor = 8
+
+// Result summarizes one stabilization run.
+type Result struct {
+	// Rounds is the number of synchronous rounds until no status change
+	// (the a_i of Table 1).
+	Rounds int
+	// Transitions counts individual status changes applied over all rounds.
+	Transitions int
+	// Affected counts distinct nodes that changed status at least once;
+	// the locality metric of the reactive model.
+	Affected int
+	// Converged is false only if the safety cap was hit (protocol bug).
+	Converged bool
+}
+
+// Stepper advances the labeling protocol one synchronous round at a time so
+// the execution engine can interleave it with identification and boundary
+// rounds (λ rounds per step, Figure 7).
+type Stepper struct {
+	m *mesh.Mesh
+	// candidate tracking with generation stamps: cand holds the nodes to
+	// evaluate next round; inCand[id] == gen marks membership.
+	cand   []grid.NodeID
+	inCand []uint32
+	gen    uint32
+	// clean nodes need re-evaluation every round until they resolve
+	// (their clean age drives rule 4).
+	cleanSet map[grid.NodeID]struct{}
+	// pending status commits for the synchronous update.
+	changedIDs []grid.NodeID
+	changedTo  []mesh.Status
+	// affected tracks distinct nodes that ever changed in this epoch.
+	affected map[grid.NodeID]struct{}
+}
+
+// NewStepper builds a stepper over m. The mesh's current statuses are taken
+// as the protocol state; call Seed after applying external events.
+func NewStepper(m *mesh.Mesh) *Stepper {
+	return &Stepper{
+		m:        m,
+		inCand:   make([]uint32, m.NumNodes()),
+		gen:      1,
+		cleanSet: make(map[grid.NodeID]struct{}),
+		affected: make(map[grid.NodeID]struct{}),
+	}
+}
+
+// Mesh returns the underlying fabric.
+func (st *Stepper) Mesh() *mesh.Mesh { return st.m }
+
+// Seed registers externally-changed nodes (new faults, recoveries): the node
+// itself and its neighbors become candidates for the next round. A recovered
+// node (now Clean) joins the clean set.
+func (st *Stepper) Seed(ids ...grid.NodeID) {
+	for _, id := range ids {
+		st.addCandidate(id)
+		st.m.EachNeighbor(id, func(nb grid.NodeID, _ grid.Dir) { st.addCandidate(nb) })
+		if st.m.Status(id) == mesh.Clean {
+			st.cleanSet[id] = struct{}{}
+		}
+	}
+}
+
+func (st *Stepper) addCandidate(id grid.NodeID) {
+	if st.inCand[id] != st.gen {
+		st.inCand[id] = st.gen
+		st.cand = append(st.cand, id)
+	}
+}
+
+// Quiescent reports whether the protocol has no pending work: no candidates
+// and no transient clean nodes.
+func (st *Stepper) Quiescent() bool { return len(st.cand) == 0 && len(st.cleanSet) == 0 }
+
+// ResetAffected clears the affected-node accounting (typically at each new
+// fault occurrence so Affected counts per-event locality).
+func (st *Stepper) ResetAffected() { st.affected = make(map[grid.NodeID]struct{}) }
+
+// Affected returns the number of distinct nodes that changed status since
+// the last ResetAffected.
+func (st *Stepper) Affected() int { return len(st.affected) }
+
+// Round performs one synchronous round: every candidate node observes its
+// neighbors' current statuses and applies rules 1-4 of Algorithm 1 (rule 5,
+// recovery, is an external event applied via mesh.Recover + Seed). It
+// returns the number of status transitions committed.
+func (st *Stepper) Round() int {
+	m := st.m
+	// Evaluate: candidates plus all clean nodes (whose age must advance).
+	eval := st.cand
+	for id := range st.cleanSet {
+		if st.inCand[id] != st.gen {
+			eval = append(eval, id)
+		}
+	}
+	st.changedIDs = st.changedIDs[:0]
+	st.changedTo = st.changedTo[:0]
+	var agedCleans []grid.NodeID
+	for _, id := range eval {
+		old := m.Status(id)
+		next, stayClean := nextStatus(m, id, old)
+		if stayClean {
+			agedCleans = append(agedCleans, id)
+		}
+		if next != old {
+			st.changedIDs = append(st.changedIDs, id)
+			st.changedTo = append(st.changedTo, next)
+		}
+	}
+	// Commit phase: all updates appear simultaneously (synchronous model).
+	st.gen++
+	st.cand = st.cand[:0]
+	for i, id := range st.changedIDs {
+		to := st.changedTo[i]
+		m.SetStatus(id, to)
+		st.affected[id] = struct{}{}
+		if to == mesh.Clean {
+			st.cleanSet[id] = struct{}{}
+		} else {
+			delete(st.cleanSet, id)
+		}
+		// The change is visible to neighbors next round; both the node and
+		// its neighbors are candidates again.
+		st.addCandidate(id)
+		m.EachNeighbor(id, func(nb grid.NodeID, _ grid.Dir) { st.addCandidate(nb) })
+	}
+	for _, id := range agedCleans {
+		if m.Status(id) == mesh.Clean { // not overwritten by a commit
+			m.BumpCleanAge(id)
+		}
+	}
+	return len(st.changedIDs)
+}
+
+// LastChanged returns the nodes whose status changed in the last Round; the
+// slice is valid until the next Round call. The frame detector is seeded
+// with exactly these nodes.
+func (st *Stepper) LastChanged() []grid.NodeID { return st.changedIDs }
+
+// nextStatus applies Definition 4's rules to node id given current
+// neighborhood state. stayClean reports a clean node that remains clean this
+// round (its age must be bumped at commit).
+func nextStatus(m *mesh.Mesh, id grid.NodeID, old mesh.Status) (next mesh.Status, stayClean bool) {
+	switch old {
+	case mesh.Faulty:
+		return old, false
+	case mesh.Enabled:
+		// Rule 1: enabled -> disabled on two bad neighbors in different dims.
+		if badTwo, _ := m.BadNeighborDims(id); badTwo {
+			return mesh.Disabled, false
+		}
+		return old, false
+	case mesh.Disabled:
+		// Rule 2: disabled -> clean with a clean neighbor and no two faulty
+		// neighbors in different dimensions.
+		if _, faultyTwo := m.BadNeighborDims(id); !faultyTwo && m.HasCleanNeighbor(id) {
+			return mesh.Clean, false
+		}
+		return old, false
+	case mesh.Clean:
+		// Rule 3: clean -> disabled on two faulty neighbors in different dims.
+		if _, faultyTwo := m.BadNeighborDims(id); faultyTwo {
+			return mesh.Disabled, false
+		}
+		// Rule 4: clean -> enabled once all neighbors have seen the clean
+		// status, i.e. after one full exchange round.
+		if m.CleanAge(id) >= 1 {
+			return mesh.Enabled, false
+		}
+		return old, true
+	default:
+		return old, false
+	}
+}
+
+// Stabilize runs rounds until quiescence and reports the convergence
+// numbers. seeds are the externally-changed nodes of the triggering event.
+func Stabilize(m *mesh.Mesh, seeds ...grid.NodeID) Result {
+	st := NewStepper(m)
+	st.Seed(seeds...)
+	return st.Run()
+}
+
+// Run drives the stepper to quiescence.
+func (st *Stepper) Run() Result {
+	var res Result
+	roundCap := maxRoundsFactor * (st.m.Shape().Diameter() + 2)
+	for !st.Quiescent() {
+		if res.Rounds >= roundCap {
+			res.Affected = st.Affected()
+			return res // Converged stays false: protocol bug guard.
+		}
+		res.Transitions += st.Round()
+		res.Rounds++
+	}
+	res.Affected = st.Affected()
+	res.Converged = true
+	// Quiescence is detected one round after the last change: the final
+	// evaluation round that produced no transition is not counted in a_i.
+	if res.Rounds > 0 {
+		res.Rounds--
+	}
+	return res
+}
+
+// StabilizeFull seeds every node (used to build the initial labeling when a
+// mesh is constructed with pre-existing faults).
+func StabilizeFull(m *mesh.Mesh) Result {
+	st := NewStepper(m)
+	ids := make([]grid.NodeID, m.NumNodes())
+	for i := range ids {
+		ids[i] = grid.NodeID(i)
+	}
+	st.Seed(ids...)
+	return st.Run()
+}
+
+// Block is a stabilized faulty block extracted by the oracle: the maximal
+// connected component of disabled and faulty nodes, stored as its interior
+// box (the paper's [lo1:hi1, ...] notation).
+type Block struct {
+	// Box is the bounding box of the component.
+	Box grid.Box
+	// Nodes is the component's node count.
+	Nodes int
+	// Faults is the number of faulty (vs. disabled) nodes inside.
+	Faults int
+	// Solid reports whether the component fills Box exactly; Wu's model
+	// guarantees this after stabilization when no fault touches the
+	// outermost surface, and the property tests assert it.
+	Solid bool
+}
+
+// Extract computes the faulty blocks of the current (stabilized) mesh by
+// connected-component search over disabled∪faulty nodes. This is the
+// centralized oracle the distributed identification protocol is verified
+// against, and the information source for the global-information baseline
+// router. Blocks are returned sorted by box origin for determinism.
+func Extract(m *mesh.Mesh) []Block {
+	n := m.NumNodes()
+	visited := make([]bool, n)
+	var blocks []Block
+	var queue []grid.NodeID
+	for start := 0; start < n; start++ {
+		id := grid.NodeID(start)
+		if visited[start] || !m.Status(id).Bad() {
+			continue
+		}
+		// BFS one component.
+		visited[start] = true
+		queue = append(queue[:0], id)
+		c := m.Shape().CoordOf(id)
+		box := grid.BoxAt(c)
+		count, faults := 0, 0
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			count++
+			if m.Status(cur) == mesh.Faulty {
+				faults++
+			}
+			box.Include(m.Shape().Coord(cur, c))
+			m.EachNeighbor(cur, func(nb grid.NodeID, _ grid.Dir) {
+				if !visited[nb] && m.Status(nb).Bad() {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			})
+		}
+		blocks = append(blocks, Block{
+			Box:    box.Clone(),
+			Nodes:  count,
+			Faults: faults,
+			Solid:  count == box.Volume(),
+		})
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		a, b := blocks[i].Box.Lo, blocks[j].Box.Lo
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return blocks
+}
+
+// MaxEdge returns e_max of Table 1: the maximum edge length over all blocks
+// (0 when there are none).
+func MaxEdge(blocks []Block) int {
+	e := 0
+	for _, b := range blocks {
+		if m := b.Box.MaxExtent(); m > e {
+			e = m
+		}
+	}
+	return e
+}

@@ -1,0 +1,258 @@
+// Package core orchestrates the paper's limited-global fault-information
+// model: it wires the labeling protocol (Algorithm 1, internal/block), the
+// frame-level detection (Definition 2, internal/frame), the identification
+// process (Algorithm 2, internal/ident) and the boundary construction with
+// merge and cancellation (internal/boundary) into a single per-round state
+// machine over one mesh and one information store.
+//
+// One call to Model.Round is one synchronous round of "fault information
+// exchanges and update" in the step model of Figure 7; the execution engine
+// (internal/engine) calls it λ times per step. The model is reactive: a
+// round with no pending work costs almost nothing.
+//
+// The orchestrator also implements the deletion trigger of Section 3: a
+// constructed block is watched through its n-level corners, and when a
+// corner "finds that its existing condition cannot be satisfied" (after a
+// recovery shrank or dissolved the block) a cancellation flood is launched
+// over the old placement.
+package core
+
+import (
+	"sort"
+
+	"ndmesh/internal/block"
+	"ndmesh/internal/boundary"
+	"ndmesh/internal/frame"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/ident"
+	"ndmesh/internal/info"
+	"ndmesh/internal/mesh"
+)
+
+// watchStrikes is how many consecutive inconsistent rounds a corner must
+// observe before triggering deletion; it rides out single-round transients
+// of the labeling wave.
+const watchStrikes = 2
+
+// watched tracks one constructed block: its box, construction epoch, corner
+// nodes, and the per-corner inconsistency strike counter.
+type watched struct {
+	box     grid.Box
+	epoch   uint32
+	corners []grid.NodeID
+	strikes int
+}
+
+// Model is the limited-global fault-information model over one mesh.
+type Model struct {
+	M        *mesh.Mesh
+	Labeling *block.Stepper
+	Detector *frame.Detector
+	Ident    *ident.Protocol
+	Boundary *boundary.Protocol
+	Store    *info.Store
+
+	epoch   uint32
+	round   int
+	watches map[string]*watched
+
+	// Debug, when non-nil, receives internal decision traces (tests only).
+	Debug func(format string, args ...any)
+
+	// Last activity rounds, for convergence accounting (a_i, b_i, c_i).
+	LastLabelRound, LastFrameRound, LastIdentRound, LastBoundaryRound int
+	// CancelsStarted counts deletion floods launched.
+	CancelsStarted int
+}
+
+// New builds the model over an existing mesh. If the mesh already has
+// faults, call Stabilize once before running steps.
+func New(m *mesh.Mesh) *Model {
+	store := info.NewStore(m.NumNodes())
+	det := frame.NewDetector(m)
+	md := &Model{
+		M:        m,
+		Labeling: block.NewStepper(m),
+		Detector: det,
+		Ident:    ident.NewProtocol(m, det, store),
+		Boundary: boundary.NewProtocol(m, store),
+		Store:    store,
+		watches:  make(map[string]*watched),
+	}
+	md.Ident.OnIdentified = md.onIdentified
+	return md
+}
+
+// Round returns the current global round counter.
+func (md *Model) RoundCount() int { return md.round }
+
+// Epoch returns the current construction epoch.
+func (md *Model) Epoch() uint32 { return md.epoch }
+
+// ApplyFault injects fault occurrence f_i at node id (detected by its
+// neighbors at the next round, per the fault-detection phase of Figure 7).
+func (md *Model) ApplyFault(id grid.NodeID) {
+	md.M.Fail(id)
+	md.Labeling.Seed(id)
+	md.Detector.Seed(id)
+}
+
+// ApplyRecovery applies rule 5: the faulty node becomes clean.
+func (md *Model) ApplyRecovery(id grid.NodeID) {
+	md.M.Recover(id)
+	md.Labeling.Seed(id)
+	md.Detector.Seed(id)
+}
+
+// Round executes one synchronous round of all information constructions:
+// one labeling round, one frame-announcement round, one hop of every
+// identification message, one hop of every boundary/cancellation flood, and
+// the deletion-trigger watch. It returns the total activity (0 when fully
+// quiescent).
+func (md *Model) Round() int {
+	md.round++
+	activity := 0
+
+	if ch := md.Labeling.Round(); ch > 0 {
+		activity += ch
+		md.LastLabelRound = md.round
+		md.Detector.Seed(md.Labeling.LastChanged()...)
+	}
+	if ch := md.Detector.Round(); ch > 0 {
+		activity += ch
+		md.LastFrameRound = md.round
+		md.Ident.Notify(md.Detector.Changed()...)
+	}
+	if ch := md.Ident.Round(); ch > 0 {
+		activity += ch
+		md.LastIdentRound = md.round
+	}
+	if ch := md.Boundary.Round(); ch > 0 {
+		activity += ch
+		md.LastBoundaryRound = md.round
+	}
+	activity += md.watchCorners()
+	return activity
+}
+
+// Quiescent reports whether every construction is at its fixed point.
+func (md *Model) Quiescent() bool {
+	return md.Labeling.Quiescent() && md.Detector.Quiescent() &&
+		md.Ident.Quiescent() && md.Boundary.Quiescent()
+}
+
+// Stabilize runs rounds until quiescence (bounded by a safety cap) and
+// returns the number of rounds with activity. Used by tests and by the
+// setup of meshes with pre-existing faults.
+func (md *Model) Stabilize() int {
+	roundCap := 16*(md.M.Shape().Diameter()+2) + 8*md.Ident.TTL
+	rounds := 0
+	for !md.Quiescent() && rounds < roundCap {
+		md.Round()
+		rounds++
+	}
+	return rounds
+}
+
+// onIdentified launches the combined phase-4 / boundary-construction flood
+// for a freshly identified block: the record propagates from the opposite
+// corner over the block's frame shell and down its boundary walls, merging
+// into other blocks' placements where they intersect (Fig. 3(d)).
+func (md *Model) onIdentified(box grid.Box, corner grid.NodeID) {
+	key := box.String()
+	if w, dup := md.watches[key]; dup && w != nil {
+		return // already constructed (another corner's run finished first)
+	}
+	md.epoch++
+	md.Boundary.Start(box, md.epoch, boundary.Deposit, []grid.NodeID{corner})
+	w := &watched{box: box.Clone(), epoch: md.epoch}
+	shape := md.M.Shape()
+	for _, c := range frame.Corners(box) {
+		if shape.Contains(c) {
+			w.corners = append(w.corners, shape.Index(c))
+		}
+	}
+	md.watches[key] = w
+	md.LastBoundaryRound = md.round
+}
+
+// watchCorners implements the deletion trigger: when a corner of a
+// constructed block reports an inconsistent frame announcement for
+// watchStrikes consecutive rounds (with no clean wave in flight), the
+// block's old information is cancelled along its old placement. Watches are
+// visited in sorted key order for determinism.
+func (md *Model) watchCorners() int {
+	if len(md.watches) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(md.watches))
+	for key := range md.watches {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	activity := 0
+	for _, key := range keys {
+		w := md.watches[key]
+		if md.cornersConsistent(w) {
+			w.strikes = 0
+			continue
+		}
+		w.strikes++
+		if w.strikes < watchStrikes {
+			continue
+		}
+		// Launch the cancellation flood from the enabled corners; epoch
+		// guards ensure newer records survive the deletion.
+		md.epoch++
+		seeds := md.enabledPlacementSeeds(w)
+		if len(seeds) > 0 {
+			md.Boundary.Start(w.box, md.epoch, boundary.Cancel, seeds)
+			md.CancelsStarted++
+			md.LastBoundaryRound = md.round
+			activity++
+		}
+		delete(md.watches, key)
+	}
+	return activity
+}
+
+// cornersConsistent reports whether the watched block's corners still
+// observe the conditions of its existence: every enabled corner must
+// announce level n with exactly the surface directions of the box. A
+// disabled corner means the block grew over it — growth is handled by
+// dominated-record replacement, not deletion. When the block shrank or
+// dissolved after recoveries, some old corner loses the property and the
+// watch reports inconsistency.
+func (md *Model) cornersConsistent(w *watched) bool {
+	if md.M.NumClean() > 0 {
+		return true // a clean wave is in flight: wait for it to settle
+	}
+	shape := md.M.Shape()
+	n := shape.Dims()
+	for _, id := range w.corners {
+		if md.M.Status(id) != mesh.Enabled {
+			continue
+		}
+		want := frame.SurfaceDirs(w.box, shape.CoordOf(id))
+		if !md.Detector.HasRecord(id, n, want) {
+			if md.Debug != nil {
+				md.Debug("watch %v: corner %v lost its role (want level %d dirs=%b, has %v)",
+					w.box, shape.CoordOf(id), n, want, md.Detector.Records(id))
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// enabledPlacementSeeds returns the enabled corner nodes of the old box
+// (cancellation starts from the corners that detected the change).
+func (md *Model) enabledPlacementSeeds(w *watched) []grid.NodeID {
+	var seeds []grid.NodeID
+	for _, id := range w.corners {
+		if md.M.Status(id) == mesh.Enabled {
+			seeds = append(seeds, id)
+		}
+	}
+	return seeds
+}

@@ -1,0 +1,213 @@
+// Package detour implements the detour analysis of Section 6: the
+// quantities of Table 1 and the bounds of Theorems 3, 4 and 5, together
+// with checkers that compare a simulated routing run against the bounds.
+//
+// The theorems' setting: a routing message starts at step t; p faults have
+// already occurred (p = max{l : t_l <= t}); fault i stabilizes its
+// constructions in a_i steps; e_max is the maximum block edge length;
+// interval d_i separates occurrences i and i+1; there is one new block per
+// interval. Then (Theorem 3) the message's distance-to-go D(i) sampled at
+// occurrence i satisfies
+//
+//	D(i) = D                                  for i <= p
+//	D(p+1) <= D - (d_p - (t - t_p) - 2a_p - 2e_max)
+//	D(i)  <= D(i-1) - (d_{i-1} - 2a_{i-1} - 2e_max)   for i > p+1
+//
+// (Theorem 4) the routing from a safe source ends within k intervals where
+// k <= max{l : D + t - t_p - Σ_{i=p}^{p+l-2}(d_i - 2a_i - 2e_max) > 0},
+// with at most k(e_max + a_max) detours; (Theorem 5) replaces D with the
+// length L of any existing path for unsafe sources.
+package detour
+
+import (
+	"fmt"
+)
+
+// Interval describes fault occurrence i for the bound computations.
+type Interval struct {
+	// T is t_i, the occurrence step.
+	T int
+	// D is d_i = t_{i+1} - t_i (for the final occurrence, the horizon to
+	// the end of the run).
+	D int
+	// A is a_i in steps (labeling stabilization after occurrence i).
+	A int
+	// EMax is e_max observed after occurrence i.
+	EMax int
+}
+
+// slack is the guaranteed progress of interval i: d_i - 2a_i - 2e_max.
+func (iv Interval) slack() int { return iv.D - 2*iv.A - 2*iv.EMax }
+
+// Trace is the measured routing-run data the theorems are checked against.
+type Trace struct {
+	// D0 is D, the source-destination distance at injection.
+	D0 int
+	// Start is t, the injection step.
+	Start int
+	// P is p, the number of fault occurrences before (or at) injection.
+	P int
+	// DAt[j] is D(p+1+j): the distance-to-go sampled at each occurrence
+	// after injection, in order.
+	DAt []int
+	// EndStep is the step the message terminated (arrived/unreachable).
+	EndStep int
+	// Arrived reports successful termination.
+	Arrived bool
+	// Hops is the total number of link traversals.
+	Hops int
+}
+
+// ExtraSteps returns the steps beyond the initial distance: the raw detour
+// cost 2 * (number of detours) in the paper's accounting, where one detour
+// is one hop off the path plus the hop making it up.
+func (tr Trace) ExtraSteps() int {
+	x := tr.EndStep - tr.Start - tr.D0
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// Violation describes one failed bound check.
+type Violation struct {
+	Which   string
+	Index   int
+	Measure int
+	Bound   int
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("detour: %s violated at i=%d: measured %d > bound %d", v.Which, v.Index, v.Measure, v.Bound)
+}
+
+// CheckTheorem3 verifies the D(i) recurrence against a trace. intervals[j]
+// describes occurrence p+1+j (the occurrences sampled in tr.DAt; the first
+// relevant interval is d_p, the one the injection lands in, described by
+// pInterval). Bounds are clamped below at 0 — a negative bound means the
+// theorem predicts arrival before the occurrence, checked via termination.
+func CheckTheorem3(tr Trace, pInterval Interval, intervals []Interval) []Violation {
+	var out []Violation
+	prev := tr.D0
+	for j, measured := range tr.DAt {
+		if j >= len(intervals)+1 {
+			break
+		}
+		var bound int
+		if j == 0 {
+			// i = p+1: the message had d_p - (t - t_p) steps of interval p.
+			avail := pInterval.D - (tr.Start - pInterval.T)
+			bound = tr.D0 - (avail - 2*pInterval.A - 2*pInterval.EMax)
+		} else {
+			iv := intervals[j-1]
+			bound = prev - iv.slack()
+		}
+		if bound < 0 {
+			bound = 0
+		}
+		if bound > tr.D0 {
+			bound = tr.D0 // a message never drifts beyond its start distance
+		}
+		// The theorem bounds the distance still to go; bound 0 means the
+		// message should have arrived by this occurrence.
+		if measured > bound && measured > 0 {
+			out = append(out, Violation{Which: "Theorem 3", Index: tr.P + 1 + j, Measure: measured, Bound: bound})
+		}
+		prev = measured
+	}
+	return out
+}
+
+// KBound computes Theorem 4's k: the largest l such that
+// D + t - t_p - Σ_{i=p}^{p+l-2} (d_i - 2a_i - 2e_max) > 0, where
+// intervals[0] is interval p. The sum over an empty range (l = 1) is 0, so
+// k >= 1 whenever D > 0. A run with no further occurrences gets k = 1.
+func KBound(d0, start int, intervals []Interval) int {
+	if len(intervals) == 0 {
+		return 1
+	}
+	tp := intervals[0].T
+	k := 0
+	sum := 0
+	for l := 1; ; l++ {
+		// Σ_{i=p}^{p+l-2}: the first l-1 intervals.
+		if l-2 >= 0 {
+			if l-2 < len(intervals) {
+				sum += intervals[l-2].slack()
+			} else {
+				// Beyond the schedule there are no more occurrences; the
+				// remaining budget decides within this interval.
+				break
+			}
+		}
+		if d0+start-tp-sum > 0 {
+			k = l
+		} else {
+			break
+		}
+		if l > len(intervals)+1 {
+			break
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// MaxDetourBound computes Theorem 4's detour bound k * (e_max + a_max).
+func MaxDetourBound(k int, intervals []Interval) int {
+	aMax, eMax := 0, 0
+	for _, iv := range intervals {
+		if iv.A > aMax {
+			aMax = iv.A
+		}
+		if iv.EMax > eMax {
+			eMax = iv.EMax
+		}
+	}
+	return k * (eMax + aMax)
+}
+
+// CheckTheorem4 verifies termination-within-k-intervals and the detour
+// bound for a safe-source run. intervals[0] is interval p (containing the
+// injection). It returns violations (empty means the run obeys the bounds).
+func CheckTheorem4(tr Trace, intervals []Interval) []Violation {
+	return checkTermination(tr, tr.D0, intervals, "Theorem 4")
+}
+
+// CheckTheorem5 is Theorem 4 with the existing-path length L substituted
+// for the distance D (unsafe sources).
+func CheckTheorem5(tr Trace, pathLen int, intervals []Interval) []Violation {
+	return checkTermination(tr, pathLen, intervals, "Theorem 5")
+}
+
+func checkTermination(tr Trace, budget int, intervals []Interval, which string) []Violation {
+	var out []Violation
+	if !tr.Arrived {
+		return out // unreachable runs are outside the theorems' premises
+	}
+	k := KBound(budget, tr.Start, intervals)
+	// Measured interval count: occurrences with t_i < EndStep, starting at
+	// interval p. The run ends within interval p+m where m counts sampled
+	// occurrences before termination.
+	m := 1
+	for _, iv := range intervals[1:] {
+		if iv.T < tr.EndStep {
+			m++
+		}
+	}
+	if m > k {
+		out = append(out, Violation{Which: which + " (k intervals)", Index: tr.P, Measure: m, Bound: k})
+	}
+	// Detours: one detour = 2 extra steps (off the path and back).
+	detours := (tr.EndStep - tr.Start - budget + 1) / 2
+	if detours < 0 {
+		detours = 0
+	}
+	if bound := MaxDetourBound(k, intervals); detours > bound {
+		out = append(out, Violation{Which: which + " (max detours)", Index: tr.P, Measure: detours, Bound: bound})
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package detour
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceExtraSteps(t *testing.T) {
+	tr := Trace{D0: 10, Start: 5, EndStep: 19}
+	if tr.ExtraSteps() != 4 {
+		t.Fatalf("ExtraSteps = %d", tr.ExtraSteps())
+	}
+	fast := Trace{D0: 10, Start: 5, EndStep: 12}
+	if fast.ExtraSteps() != 0 {
+		t.Fatal("negative extra steps must clamp to 0")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := Violation{Which: "Theorem 4", Index: 2, Measure: 9, Bound: 4}
+	if !strings.Contains(v.Error(), "Theorem 4") || !strings.Contains(v.Error(), "9 > bound 4") {
+		t.Fatalf("Error = %q", v.Error())
+	}
+}
+
+func TestCheckTheorem3Conforming(t *testing.T) {
+	// D = 10, injected at t = 12 inside interval p which began at t_p = 10
+	// with d_p = 20, a_p = 2, e_max = 1: the message has
+	// 20 - 2 = 18 available steps, guaranteed progress 18 - 4 - 2 = 12 >= D
+	// so the bound at occurrence p+1 is 0 (should have arrived).
+	tr := Trace{
+		D0: 10, Start: 12, P: 1,
+		DAt:     []int{0},
+		EndStep: 22, Arrived: true,
+	}
+	pIv := Interval{T: 10, D: 20, A: 2, EMax: 1}
+	if v := CheckTheorem3(tr, pIv, nil); len(v) != 0 {
+		t.Fatalf("conforming trace violated: %v", v)
+	}
+}
+
+func TestCheckTheorem3SlowProgressViolates(t *testing.T) {
+	// Same setup but the message reports D(p+1) = 9: slower than the
+	// worst-case bound allows.
+	tr := Trace{
+		D0: 10, Start: 12, P: 1,
+		DAt:     []int{9},
+		EndStep: 60, Arrived: true,
+	}
+	pIv := Interval{T: 10, D: 20, A: 2, EMax: 1}
+	v := CheckTheorem3(tr, pIv, nil)
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+	if v[0].Measure != 9 || v[0].Bound != 0 {
+		t.Fatalf("violation = %+v", v[0])
+	}
+}
+
+func TestCheckTheorem3Recurrence(t *testing.T) {
+	// Short intervals: bound stays positive. d = 6, a = 1, e = 1 gives
+	// slack 2 per interval: D(i) must drop by >= 2 each interval.
+	tr := Trace{
+		D0: 10, Start: 10, P: 0,
+		DAt:     []int{9, 7, 5}, // first drop only 1 with slack...:
+		EndStep: 40, Arrived: true,
+	}
+	// Interval p: T=10 (injection at its very start), D=6, slack 2:
+	// bound(p+1) = 10 - (6 - 0 - 2 - 2) = 8. Measured 9 > 8: violation.
+	pIv := Interval{T: 10, D: 6, A: 1, EMax: 1}
+	ivs := []Interval{{T: 16, D: 6, A: 1, EMax: 1}, {T: 22, D: 6, A: 1, EMax: 1}}
+	v := CheckTheorem3(tr, pIv, ivs)
+	if len(v) != 1 {
+		t.Fatalf("want exactly the first-interval violation, got %v", v)
+	}
+	// With measured D obeying the recurrence, no violations.
+	tr.DAt = []int{8, 6, 4}
+	if v := CheckTheorem3(tr, pIv, ivs); len(v) != 0 {
+		t.Fatalf("conforming recurrence violated: %v", v)
+	}
+}
+
+func TestKBound(t *testing.T) {
+	// No intervals: k = 1.
+	if k := KBound(5, 10, nil); k != 1 {
+		t.Fatalf("empty KBound = %d", k)
+	}
+	// One interval with big slack: D + t - t_p - 0 > 0 always for l=1;
+	// for l=2 the sum includes interval p's slack.
+	ivs := []Interval{
+		{T: 10, D: 30, A: 1, EMax: 1}, // slack 26
+		{T: 40, D: 30, A: 1, EMax: 1},
+		{T: 70, D: 30, A: 1, EMax: 1},
+	}
+	// D=5, start=12: l=1: 5+12-10 = 7 > 0 ok. l=2: 7-26 < 0 stop: k=1.
+	if k := KBound(5, 12, ivs); k != 1 {
+		t.Fatalf("KBound = %d, want 1", k)
+	}
+	// Tiny slack: d=4, a=1, e=1 -> slack 0: k grows until the schedule
+	// runs out.
+	tight := []Interval{
+		{T: 10, D: 4, A: 1, EMax: 1},
+		{T: 14, D: 4, A: 1, EMax: 1},
+		{T: 18, D: 4, A: 1, EMax: 1},
+	}
+	if k := KBound(5, 10, tight); k < 3 {
+		t.Fatalf("zero-slack KBound = %d, want >= 3", k)
+	}
+}
+
+func TestMaxDetourBound(t *testing.T) {
+	ivs := []Interval{
+		{A: 2, EMax: 1},
+		{A: 1, EMax: 3},
+	}
+	if b := MaxDetourBound(4, ivs); b != 4*(2+3) {
+		t.Fatalf("MaxDetourBound = %d", b)
+	}
+	if MaxDetourBound(2, nil) != 0 {
+		t.Fatal("empty bound not 0")
+	}
+}
+
+func TestCheckTheorem4(t *testing.T) {
+	ivs := []Interval{
+		{T: 10, D: 30, A: 1, EMax: 1},
+		{T: 40, D: 30, A: 1, EMax: 1},
+	}
+	// Arrives quickly within interval p: no violation.
+	tr := Trace{D0: 8, Start: 12, P: 1, EndStep: 22, Arrived: true}
+	if v := CheckTheorem4(tr, ivs); len(v) != 0 {
+		t.Fatalf("conforming Theorem 4 violated: %v", v)
+	}
+	// Unreached runs are outside the premise: no violations reported.
+	trU := Trace{D0: 8, Start: 12, P: 1, EndStep: 90, Arrived: false}
+	if v := CheckTheorem4(trU, ivs); len(v) != 0 {
+		t.Fatalf("unreachable trace should not violate: %v", v)
+	}
+	// A run that drags across more intervals than k and with huge extra
+	// steps violates both clauses.
+	trBad := Trace{D0: 4, Start: 12, P: 1, EndStep: 75, Arrived: true}
+	v := CheckTheorem4(trBad, ivs)
+	if len(v) == 0 {
+		t.Fatal("dragging trace should violate")
+	}
+}
+
+func TestCheckTheorem5UsesPathLength(t *testing.T) {
+	ivs := []Interval{{T: 10, D: 40, A: 1, EMax: 1}}
+	// Path length 14 though D0 is 6 (unsafe source): ending within
+	// start + L + slack is fine.
+	tr := Trace{D0: 6, Start: 12, P: 1, EndStep: 27, Arrived: true}
+	if v := CheckTheorem5(tr, 14, ivs); len(v) != 0 {
+		t.Fatalf("Theorem 5 violated: %v", v)
+	}
+}
+
+func TestIntervalSlack(t *testing.T) {
+	iv := Interval{D: 10, A: 2, EMax: 3}
+	if iv.slack() != 10-4-6 {
+		t.Fatalf("slack = %d", iv.slack())
+	}
+}

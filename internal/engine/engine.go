@@ -1,0 +1,268 @@
+// Package engine implements the execution model of Section 5 and Figure 7:
+// time advances in steps; each step performs fault detection (scheduled
+// events become visible to neighbors), λ rounds of fault-information
+// exchange and update (every protocol message advances one hop per round),
+// then message reception, routing decision and message sending (every
+// routing message advances one hop per step).
+//
+// The engine also keeps the per-occurrence bookkeeping of Table 1: for each
+// fault/recovery event i it measures a_i (labeling stabilization rounds),
+// b_i (identification rounds), c_i (boundary rounds), the number of
+// affected nodes, and samples every in-flight message's distance-to-go D(i)
+// at the occurrence — the inputs of Theorems 3-5.
+package engine
+
+import (
+	"fmt"
+
+	"ndmesh/internal/block"
+	"ndmesh/internal/core"
+	"ndmesh/internal/fault"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/route"
+)
+
+// Flight is one routing message in flight with its router and context.
+type Flight struct {
+	Msg    *route.Message
+	Router route.Router
+	Ctx    route.Context
+	// StartStep is the step the message was injected (the t of Table 1).
+	StartStep int
+	// DistAt[i] is D(i): the distance from the message's current node to
+	// its destination when event i occurred (only events after injection).
+	DistAt []int
+	// EventIdxAt records which global event index each DistAt sample
+	// belongs to.
+	EventIdxAt []int
+}
+
+// EventRecord captures one fault occurrence (or recovery) and the
+// convergence of the information constructions it triggered.
+type EventRecord struct {
+	// Index is i (1-based over the schedule).
+	Index int
+	// Step is t_i.
+	Step int
+	// Round is the model round count when the event was applied.
+	Round int
+	Kind  fault.Kind
+	Node  grid.NodeID
+
+	// ARounds/FrameRounds/BRounds/CRounds are rounds from the event until
+	// the last labeling / frame / identification / boundary activity
+	// attributable to it (finalized when the next event fires or the run
+	// ends).
+	ARounds, FrameRounds, BRounds, CRounds int
+	// ASteps is ceil(ARounds/λ) etc., the step-denominated stabilization
+	// times the theorems use.
+	ASteps, BSteps, CSteps int
+	// Affected is the number of distinct nodes that changed status.
+	Affected int
+	// EMaxAfter is e_max measured after this event's constructions.
+	EMaxAfter int
+	// RecordsAfter is the information-store size after this event's
+	// constructions (memory metric snapshot).
+	RecordsAfter int
+
+	finalized bool
+}
+
+// Engine drives one simulation.
+type Engine struct {
+	Model  *core.Model
+	Lambda int
+
+	Schedule *fault.Schedule
+	evIdx    int
+
+	step    int
+	flights []*Flight
+
+	// Events is the per-occurrence log (one record per schedule event).
+	Events []*EventRecord
+
+	// RoundsRun counts total information rounds executed.
+	RoundsRun int
+}
+
+// New builds an engine over a model with the given λ (rounds of information
+// exchange per step; λ >= 1).
+func New(md *core.Model, lambda int, sched *fault.Schedule) *Engine {
+	if lambda < 1 {
+		lambda = 1
+	}
+	if sched == nil {
+		sched = &fault.Schedule{}
+	}
+	return &Engine{Model: md, Lambda: lambda, Schedule: sched}
+}
+
+// StepCount returns the current step number.
+func (e *Engine) StepCount() int { return e.step }
+
+// Inject adds a routing message from src to dst under the given router,
+// returning its flight. The message takes its first hop at the next Step.
+func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
+	if src == dst {
+		return nil, fmt.Errorf("engine: source equals destination")
+	}
+	ctx := route.Context{M: e.Model.M, Policy: route.LowestAxis}
+	if _, isBlind := r.(route.Blind); !isBlind {
+		ctx.Store = e.Model.Store
+	}
+	f := &Flight{
+		Msg:       route.NewMessage(src, dst),
+		Router:    r,
+		Ctx:       ctx,
+		StartStep: e.step,
+	}
+	e.flights = append(e.flights, f)
+	return f, nil
+}
+
+// Flights returns all injected flights.
+func (e *Engine) Flights() []*Flight { return e.flights }
+
+// Step executes one step of Figure 7's model.
+func (e *Engine) Step() {
+	// 1. Fault detection: apply the events scheduled for this step. The
+	// change is observed by neighbors during the following rounds.
+	for e.evIdx < len(e.Schedule.Events) && e.Schedule.Events[e.evIdx].Step <= e.step {
+		ev := e.Schedule.Events[e.evIdx]
+		e.applyEvent(ev)
+		e.evIdx++
+	}
+
+	// 2. λ rounds of fault-information exchange and update.
+	for i := 0; i < e.Lambda; i++ {
+		e.Model.Round()
+		e.RoundsRun++
+	}
+
+	// 3-5. Message reception, routing decision, message sending: one hop
+	// per step for every active flight.
+	for _, f := range e.flights {
+		if !f.Msg.Done() {
+			route.Advance(&f.Ctx, f.Router, f.Msg)
+		}
+	}
+	e.step++
+}
+
+func (e *Engine) applyEvent(ev fault.Event) {
+	e.finalizeLastEvent()
+	rec := &EventRecord{
+		Index: len(e.Events) + 1,
+		Step:  e.step,
+		Round: e.Model.RoundCount(),
+		Kind:  ev.Kind,
+		Node:  ev.Node,
+	}
+	e.Events = append(e.Events, rec)
+	e.Model.Labeling.ResetAffected()
+	switch ev.Kind {
+	case fault.Fail:
+		e.Model.ApplyFault(ev.Node)
+	case fault.Recover:
+		e.Model.ApplyRecovery(ev.Node)
+	}
+	// Sample D(i) for every active flight (Theorem 3's measurements).
+	for _, f := range e.flights {
+		if f.Msg.Done() {
+			continue
+		}
+		d := e.Model.M.Shape().Distance(f.Msg.Cur, f.Msg.Dst)
+		f.DistAt = append(f.DistAt, d)
+		f.EventIdxAt = append(f.EventIdxAt, rec.Index)
+	}
+}
+
+// FinalizeEvents closes the accounting of the most recent event record
+// against the model's current convergence state. Run and RunFlights call it
+// automatically; callers that step the engine manually call it before
+// reading Events.
+func (e *Engine) FinalizeEvents() { e.finalizeLastEvent() }
+
+// finalizeLastEvent attributes the convergence observed since the previous
+// event to that event's record. It recomputes idempotently: calling it
+// again after more rounds extends the attribution window of the most
+// recent event (earlier events were closed when their successor fired).
+func (e *Engine) finalizeLastEvent() {
+	if len(e.Events) == 0 {
+		return
+	}
+	rec := e.Events[len(e.Events)-1]
+	md := e.Model
+	rec.ARounds = clampNonNeg(md.LastLabelRound - rec.Round)
+	rec.FrameRounds = clampNonNeg(md.LastFrameRound - rec.Round)
+	rec.BRounds = clampNonNeg(md.LastIdentRound - rec.Round)
+	rec.CRounds = clampNonNeg(md.LastBoundaryRound - rec.Round)
+	rec.ASteps = ceilDiv(rec.ARounds, e.Lambda)
+	rec.BSteps = ceilDiv(rec.BRounds, e.Lambda)
+	rec.CSteps = ceilDiv(rec.CRounds, e.Lambda)
+	rec.Affected = md.Labeling.Affected()
+	rec.EMaxAfter = block.MaxEdge(block.Extract(md.M))
+	rec.RecordsAfter = md.Store.TotalRecords()
+	rec.finalized = true
+}
+
+func clampNonNeg(x int) int {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// Done reports whether all scheduled events fired, all flights terminated,
+// and the model is quiescent.
+func (e *Engine) Done() bool {
+	if e.evIdx < len(e.Schedule.Events) {
+		return false
+	}
+	for _, f := range e.flights {
+		if !f.Msg.Done() {
+			return false
+		}
+	}
+	return e.Model.Quiescent()
+}
+
+// Run steps the engine until Done or maxSteps, finalizing the last event
+// record. It returns the number of steps executed.
+func (e *Engine) Run(maxSteps int) int {
+	start := e.step
+	for !e.Done() && e.step-start < maxSteps {
+		e.Step()
+	}
+	e.finalizeLastEvent()
+	return e.step - start
+}
+
+// RunFlights steps the engine until every flight terminates (or maxSteps),
+// without waiting for model quiescence. It returns the steps executed.
+func (e *Engine) RunFlights(maxSteps int) int {
+	start := e.step
+	for e.step-start < maxSteps {
+		active := false
+		for _, f := range e.flights {
+			if !f.Msg.Done() {
+				active = true
+				break
+			}
+		}
+		if !active {
+			break
+		}
+		e.Step()
+	}
+	e.finalizeLastEvent()
+	return e.step - start
+}

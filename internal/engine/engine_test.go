@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"testing"
+
+	"ndmesh/internal/core"
+	"ndmesh/internal/fault"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/mesh"
+	"ndmesh/internal/route"
+)
+
+func newEngine(t *testing.T, dims []int, lambda int, sched *fault.Schedule) *Engine {
+	t.Helper()
+	shape, err := grid.NewShape(dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(core.New(mesh.New(shape)), lambda, sched)
+}
+
+// TestFigure7StepAnatomy checks the per-step phase ordering: a fault
+// scheduled at step s is applied before the λ information rounds of step
+// s, and the routing message moves exactly one hop per step regardless of
+// λ.
+func TestFigure7StepAnatomy(t *testing.T) {
+	shape := grid.MustShape(10, 10)
+	node := shape.Index(grid.Coord{5, 5})
+	sched := &fault.Schedule{Events: []fault.Event{{Step: 3, Node: node, Kind: fault.Fail}}}
+	eng := newEngine(t, []int{10, 10}, 4, sched)
+
+	src := shape.Index(grid.Coord{1, 1})
+	dst := shape.Index(grid.Coord{8, 8})
+	fl, err := eng.Inject(src, dst, route.Limited{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		eng.Step()
+		if eng.Model.M.Status(node) == mesh.Faulty {
+			t.Fatalf("fault applied early at step %d", step)
+		}
+		// One hop per step.
+		if fl.Msg.Hops != step+1 {
+			t.Fatalf("hops = %d after %d steps", fl.Msg.Hops, step+1)
+		}
+	}
+	eng.Step() // step 3: fault detection applies the event
+	if eng.Model.M.Status(node) != mesh.Faulty {
+		t.Fatal("fault not applied at its step")
+	}
+	// λ = 4 rounds ran during step 3.
+	if eng.RoundsRun != 4*4 {
+		t.Fatalf("RoundsRun = %d, want 16", eng.RoundsRun)
+	}
+	if eng.StepCount() != 4 {
+		t.Fatalf("StepCount = %d", eng.StepCount())
+	}
+}
+
+// TestEventRecordsConvergence: every event gets a_i/b_i/c_i and the
+// one-hop-per-round protocols yield positive b and c for a real block.
+func TestEventRecordsConvergence(t *testing.T) {
+	shape := grid.MustShape(12, 12)
+	sched := &fault.Schedule{}
+	// Two diagonal faults at step 2 (one block), then a far fault at step 60.
+	for _, c := range []grid.Coord{{5, 5}, {6, 6}} {
+		sched.Events = append(sched.Events, fault.Event{Step: 2, Node: shape.Index(c), Kind: fault.Fail})
+	}
+	sched.Events = append(sched.Events, fault.Event{Step: 60, Node: shape.Index(grid.Coord{2, 9}), Kind: fault.Fail})
+	eng := newEngine(t, []int{12, 12}, 1, sched)
+	eng.Run(400)
+	if len(eng.Events) != 3 {
+		t.Fatalf("event records = %d, want 3", len(eng.Events))
+	}
+	// The second same-step event's record absorbs the block construction
+	// (both were applied at step 2; the first was finalized immediately).
+	rec := eng.Events[1]
+	if rec.ARounds == 0 {
+		t.Errorf("diagonal faults should take labeling rounds: %+v", rec)
+	}
+	if rec.BRounds == 0 || rec.CRounds == 0 {
+		t.Errorf("identification/boundary rounds missing: %+v", rec)
+	}
+	if rec.BSteps != rec.BRounds || rec.CSteps != rec.CRounds {
+		t.Errorf("λ=1 must give steps == rounds: %+v", rec)
+	}
+	if rec.EMaxAfter != 2 {
+		t.Errorf("EMaxAfter = %d, want 2", rec.EMaxAfter)
+	}
+	if rec.RecordsAfter == 0 {
+		t.Errorf("no records after construction: %+v", rec)
+	}
+	// λ scaling: the same scenario with λ=4 needs roughly a quarter of
+	// the steps for the same rounds.
+	eng4 := newEngine(t, []int{12, 12}, 4, &fault.Schedule{Events: sched.Events})
+	eng4.Run(400)
+	rec4 := eng4.Events[1]
+	if rec4.BSteps > (rec4.BRounds+3)/4 {
+		t.Errorf("λ=4 steps not scaled: %+v", rec4)
+	}
+}
+
+// TestDistanceSamplesAtEvents: D(i) is sampled for in-flight messages at
+// each occurrence.
+func TestDistanceSamplesAtEvents(t *testing.T) {
+	shape := grid.MustShape(12, 12)
+	sched := &fault.Schedule{Events: []fault.Event{
+		{Step: 5, Node: shape.Index(grid.Coord{9, 9}), Kind: fault.Fail},
+		{Step: 10, Node: shape.Index(grid.Coord{2, 9}), Kind: fault.Fail},
+	}}
+	eng := newEngine(t, []int{12, 12}, 1, sched)
+	src := shape.Index(grid.Coord{1, 1})
+	dst := shape.Index(grid.Coord{7, 1})
+	fl, err := eng.Inject(src, dst, route.Limited{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(200)
+	if !fl.Msg.Arrived {
+		t.Fatalf("not arrived: %v", fl.Msg)
+	}
+	// Message needs 6 steps; the occurrence at step 5 catches it 5 hops
+	// in: D(1) = 1. The occurrence at step 10 is after arrival: no sample.
+	if len(fl.DistAt) != 1 || fl.DistAt[0] != 1 {
+		t.Fatalf("DistAt = %v, want [1]", fl.DistAt)
+	}
+	if fl.EventIdxAt[0] != 1 {
+		t.Fatalf("EventIdxAt = %v", fl.EventIdxAt)
+	}
+}
+
+// TestInjectValidation: source == destination is rejected.
+func TestInjectValidation(t *testing.T) {
+	eng := newEngine(t, []int{6, 6}, 1, nil)
+	if _, err := eng.Inject(3, 3, route.Limited{}); err == nil {
+		t.Fatal("self-injection accepted")
+	}
+}
+
+// TestBlindGetsNoStore: the blind router's context must not carry the
+// information store.
+func TestBlindGetsNoStore(t *testing.T) {
+	eng := newEngine(t, []int{6, 6}, 1, nil)
+	fl, err := eng.Inject(1, 8, route.Blind{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Ctx.Store != nil {
+		t.Fatal("blind flight has an info store")
+	}
+	fl2, _ := eng.Inject(1, 8, route.Limited{})
+	if fl2.Ctx.Store == nil {
+		t.Fatal("limited flight lacks the info store")
+	}
+}
+
+// TestDoneAndRun: Done requires schedule drained, flights finished, model
+// quiescent.
+func TestDoneAndRun(t *testing.T) {
+	shape := grid.MustShape(8, 8)
+	sched := &fault.Schedule{Events: []fault.Event{
+		{Step: 2, Node: shape.Index(grid.Coord{4, 4}), Kind: fault.Fail},
+	}}
+	eng := newEngine(t, []int{8, 8}, 1, sched)
+	if eng.Done() {
+		t.Fatal("engine done before running")
+	}
+	steps := eng.Run(1000)
+	if !eng.Done() {
+		t.Fatalf("engine not done after %d steps", steps)
+	}
+	// The last event must be finalized by Run.
+	if len(eng.Events) != 1 || !eng.Events[0].finalized {
+		t.Fatal("event not finalized")
+	}
+}
+
+// TestRunFlightsStopsEarly: RunFlights ends as soon as messages are done,
+// even if the model still has work.
+func TestRunFlightsStopsEarly(t *testing.T) {
+	shape := grid.MustShape(8, 8)
+	sched := &fault.Schedule{Events: []fault.Event{
+		{Step: 1, Node: shape.Index(grid.Coord{4, 4}), Kind: fault.Fail},
+	}}
+	eng := newEngine(t, []int{8, 8}, 1, sched)
+	fl, _ := eng.Inject(shape.Index(grid.Coord{1, 1}), shape.Index(grid.Coord{2, 1}), route.Limited{})
+	eng.RunFlights(100)
+	if !fl.Msg.Arrived {
+		t.Fatal("short flight did not arrive")
+	}
+	if eng.StepCount() > 5 {
+		t.Fatalf("RunFlights overran: %d steps", eng.StepCount())
+	}
+}
+
+// TestLambdaDefaulting: λ < 1 is clamped.
+func TestLambdaDefaulting(t *testing.T) {
+	eng := newEngine(t, []int{4, 4}, 0, nil)
+	if eng.Lambda != 1 {
+		t.Fatalf("lambda = %d", eng.Lambda)
+	}
+}
+
+// TestRecoveryEventKind: recovery events are applied as rule 5.
+func TestRecoveryEventKind(t *testing.T) {
+	shape := grid.MustShape(8, 8)
+	node := shape.Index(grid.Coord{4, 4})
+	sched := &fault.Schedule{Events: []fault.Event{
+		{Step: 1, Node: node, Kind: fault.Fail},
+		{Step: 30, Node: node, Kind: fault.Recover},
+	}}
+	eng := newEngine(t, []int{8, 8}, 1, sched)
+	eng.Run(400)
+	if eng.Model.M.Status(node) != mesh.Enabled {
+		t.Fatalf("recovered node = %v, want enabled", eng.Model.M.Status(node))
+	}
+	if len(eng.Events) != 2 || eng.Events[1].Kind != fault.Recover {
+		t.Fatalf("events = %+v", eng.Events)
+	}
+}

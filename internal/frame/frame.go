@@ -1,0 +1,399 @@
+// Package frame implements Definition 2 and Definition 3 of the paper: the
+// classification of the enabled nodes around a faulty block into adjacent
+// nodes, q-level edge nodes and q-level corners, and the adjacent surfaces
+// S_i of the block.
+//
+// A block with interior box [lo_1:hi_1, ..., lo_n:hi_n] is surrounded by a
+// one-node-thick shell (the expanded box minus the interior). A shell node
+// with exactly q coordinates at lo-1 or hi+1 ("extreme") and the remaining
+// n-q coordinates inside the interior span is a q-level corner; a node with
+// n-1 extreme coordinates is an n-level edge node, and the 2^n nodes with
+// all coordinates extreme are the n-level corners (Definition 2, unrolled
+// recursively). Level-1 nodes are the adjacent nodes: they have exactly one
+// neighbor inside the block.
+//
+// The package provides both the geometric classification (used by the
+// boundary oracle and the tests) and a distributed detector that computes
+// each node's level and surface directions from neighbor announcements
+// only, one hop per round — step 2 of Algorithm 2.
+package frame
+
+import (
+	"sort"
+
+	"ndmesh/internal/grid"
+	"ndmesh/internal/mesh"
+)
+
+// Level returns the frame level of coordinate c relative to the interior
+// box b: the number of extreme coordinates. ok is false if c is not on the
+// frame shell (some coordinate further than one unit outside, or all
+// coordinates inside the interior).
+func Level(b grid.Box, c grid.Coord) (level int, ok bool) {
+	if len(c) != b.Dims() {
+		return 0, false
+	}
+	for i := range c {
+		switch {
+		case c[i] == b.Lo[i]-1 || c[i] == b.Hi[i]+1:
+			level++
+		case c[i] >= b.Lo[i] && c[i] <= b.Hi[i]:
+			// inside the span on this axis
+		default:
+			return 0, false
+		}
+	}
+	if level == 0 {
+		return 0, false // inside the block, not on the shell
+	}
+	return level, true
+}
+
+// SurfaceDirs returns the surface directions of frame node c: for every
+// extreme coordinate, the direction pointing back toward the block span.
+// For the paper's example block [3:5, 5:6, 3:4], the 3-level edge node
+// (5,4,5) has surface directions {+Y, -Z}. The result is empty if c is not
+// on the frame.
+func SurfaceDirs(b grid.Box, c grid.Coord) grid.DirSet {
+	var s grid.DirSet
+	if len(c) != b.Dims() {
+		return 0
+	}
+	for i := range c {
+		switch c[i] {
+		case b.Lo[i] - 1:
+			s = s.Add(grid.DirPlus(i))
+		case b.Hi[i] + 1:
+			s = s.Add(grid.DirMinus(i))
+		default:
+			if c[i] < b.Lo[i] || c[i] > b.Hi[i] {
+				return 0
+			}
+		}
+	}
+	return s
+}
+
+// IsAdjacent reports whether c is an adjacent node of block b (level 1).
+func IsAdjacent(b grid.Box, c grid.Coord) bool {
+	l, ok := Level(b, c)
+	return ok && l == 1
+}
+
+// IsCorner reports whether c is an n-level corner of block b in an n-D mesh.
+func IsCorner(b grid.Box, c grid.Coord) bool {
+	l, ok := Level(b, c)
+	return ok && l == b.Dims()
+}
+
+// Corners returns the 2^n n-level corners of the block, in binary order of
+// (low/high) choices per axis. Corners outside the mesh are still returned;
+// callers clip with shape.Contains (the paper assumes blocks never touch
+// the outermost surface, so in model-conforming scenarios all corners
+// exist).
+func Corners(b grid.Box) []grid.Coord {
+	n := b.Dims()
+	out := make([]grid.Coord, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		c := make(grid.Coord, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				c[i] = b.Hi[i] + 1
+			} else {
+				c[i] = b.Lo[i] - 1
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// EachShellNode enumerates every node of the frame shell (the expanded box
+// minus the interior), calling fn with a reused scratch coordinate and the
+// node's level.
+func EachShellNode(b grid.Box, fn func(c grid.Coord, level int)) {
+	b.Expand(1).Each(func(c grid.Coord) {
+		if l, ok := Level(b, c); ok {
+			fn(c, l)
+		}
+	})
+}
+
+// EachLevelNode enumerates the frame nodes of exactly the given level.
+func EachLevelNode(b grid.Box, level int, fn func(c grid.Coord)) {
+	EachShellNode(b, func(c grid.Coord, l int) {
+		if l == level {
+			fn(c)
+		}
+	})
+}
+
+// SurfaceIndex maps (axis, positive side) to the paper's surface numbering:
+// in 3-D, S0/S1/S2 are the low-side surfaces of axes X/Y/Z and S3/S4/S5 the
+// high-side surfaces, with S_i opposite S_{(i+n) mod 2n} (the paper's
+// (i+3) mod 6 for n=3).
+func SurfaceIndex(n int, axis int, positive bool) int {
+	if positive {
+		return axis + n
+	}
+	return axis
+}
+
+// SurfaceAxisSide decodes a surface index back to (axis, positive).
+func SurfaceAxisSide(n int, surface int) (axis int, positive bool) {
+	if surface >= n {
+		return surface - n, true
+	}
+	return surface, false
+}
+
+// AdjacentSurface returns the box of adjacent-surface S_i of block b: the
+// nodes one unit away from the block face, spanning the block's interior
+// extent on all other axes (Definition 3 generalized to n-D).
+func AdjacentSurface(b grid.Box, surface int) grid.Box {
+	axis, positive := SurfaceAxisSide(b.Dims(), surface)
+	lo := b.Lo.Clone()
+	hi := b.Hi.Clone()
+	if positive {
+		lo[axis] = b.Hi[axis] + 1
+		hi[axis] = b.Hi[axis] + 1
+	} else {
+		lo[axis] = b.Lo[axis] - 1
+		hi[axis] = b.Lo[axis] - 1
+	}
+	return grid.Box{Lo: lo, Hi: hi}
+}
+
+// Announcement is one frame role a node announces: a believed level and the
+// surface directions of that role. A node may hold several announcements at
+// once — for example, an adjacent node of one block that is simultaneously
+// an edge node of another block whose frame touches it. Definition 2's
+// classification is per block, and keeping one record per role is what
+// makes corner detection robust when frames of distinct blocks meet.
+type Announcement struct {
+	Level uint8
+	Dirs  grid.DirSet
+}
+
+// Detector computes frame levels distributively: each round, every candidate
+// node derives its announcements from its neighbors' previous announcements
+// and its direct observation of bad neighbors. Level-q information therefore
+// stabilizes q rounds after the labeling does, exactly as step 2 of
+// Algorithm 2 requires. The detector is reactive: only nodes near status
+// changes are re-evaluated.
+type Detector struct {
+	m *mesh.Mesh
+	// ann[id] holds the node's current announcements, sorted by
+	// (Level, Dirs) with no duplicates.
+	ann [][]Announcement
+	// candidate tracking, as in block.Stepper.
+	cand   []grid.NodeID
+	inCand []uint32
+	gen    uint32
+	// changed lists the nodes whose announcements changed in the last
+	// Round; consumers (identification initiation) read it after each
+	// round.
+	changed []grid.NodeID
+}
+
+// NewDetector builds a detector over m with empty announcements.
+func NewDetector(m *mesh.Mesh) *Detector {
+	return &Detector{
+		m:      m,
+		ann:    make([][]Announcement, m.NumNodes()),
+		inCand: make([]uint32, m.NumNodes()),
+		gen:    1,
+	}
+}
+
+// Announcement returns the highest-level announcement of node id (the zero
+// Announcement when the node has none). Protocol code that needs a
+// specific role uses HasRecord instead.
+func (d *Detector) Announcement(id grid.NodeID) Announcement {
+	rs := d.ann[id]
+	if len(rs) == 0 {
+		return Announcement{}
+	}
+	return rs[len(rs)-1] // sorted ascending by level
+}
+
+// Records returns all announcements of node id (owned by the detector).
+func (d *Detector) Records(id grid.NodeID) []Announcement { return d.ann[id] }
+
+// HasRecord reports whether node id currently announces exactly the given
+// role.
+func (d *Detector) HasRecord(id grid.NodeID, level int, dirs grid.DirSet) bool {
+	for _, a := range d.ann[id] {
+		if int(a.Level) == level && a.Dirs == dirs {
+			return true
+		}
+	}
+	return false
+}
+
+// Seed marks nodes (and their neighbors) for re-evaluation after status
+// changes.
+func (d *Detector) Seed(ids ...grid.NodeID) {
+	for _, id := range ids {
+		d.add(id)
+		d.m.EachNeighbor(id, func(nb grid.NodeID, _ grid.Dir) { d.add(nb) })
+	}
+}
+
+func (d *Detector) add(id grid.NodeID) {
+	if d.inCand[id] != d.gen {
+		d.inCand[id] = d.gen
+		d.cand = append(d.cand, id)
+	}
+}
+
+// Quiescent reports whether no candidates remain.
+func (d *Detector) Quiescent() bool { return len(d.cand) == 0 }
+
+// Round performs one synchronous announcement-update round and returns the
+// number of nodes whose announcements changed.
+func (d *Detector) Round() int {
+	m := d.m
+	type change struct {
+		id grid.NodeID
+		a  []Announcement
+	}
+	var changes []change
+	for _, id := range d.cand {
+		a := d.compute(id)
+		if !annsEqual(a, d.ann[id]) {
+			changes = append(changes, change{id, a})
+		}
+	}
+	d.gen++
+	d.cand = d.cand[:0]
+	d.changed = d.changed[:0]
+	for _, ch := range changes {
+		d.ann[ch.id] = ch.a
+		d.changed = append(d.changed, ch.id)
+		d.add(ch.id)
+		m.EachNeighbor(ch.id, func(nb grid.NodeID, _ grid.Dir) { d.add(nb) })
+	}
+	return len(changes)
+}
+
+func annsEqual(a, b []Announcement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Changed returns the nodes whose announcement changed in the last Round.
+// The slice is valid until the next Round call.
+func (d *Detector) Changed() []grid.NodeID { return d.changed }
+
+// Run drives rounds to quiescence, returning the rounds taken.
+func (d *Detector) Run() int {
+	rounds := 0
+	roundCap := 8 * (d.m.Shape().Diameter() + 2)
+	for !d.Quiescent() && rounds < roundCap {
+		d.Round()
+		rounds++
+	}
+	return rounds
+}
+
+// compute derives node id's announcements from direct bad-neighbor
+// observation (level 1) and neighbors' current announcements (level k from
+// k-1): node u is a k-level corner with surface direction set S (|S| = k)
+// iff for every direction dir in S, the neighbor of u in direction dir
+// announces level k-1 with direction set S minus dir. This is Definition
+// 2's recursion evaluated from local information only. A node announces
+// every role it satisfies — one per adjacent block direction at level 1,
+// plus any corner roles derived from neighbor announcements.
+func (d *Detector) compute(id grid.NodeID) []Announcement {
+	m := d.m
+	if m.Status(id) != mesh.Enabled {
+		return nil // only enabled nodes are frame nodes
+	}
+	var out []Announcement
+	add := func(a Announcement) {
+		for _, have := range out {
+			if have == a {
+				return
+			}
+		}
+		out = append(out, a)
+	}
+	// Level 1: adjacent node — one record per bad-neighbor direction
+	// (each direction is evidence of a distinct block face; a convex block
+	// never presents two faces to one enabled node).
+	m.EachNeighbor(id, func(nb grid.NodeID, dir grid.Dir) {
+		if m.Status(nb).Bad() {
+			add(Announcement{Level: 1, Dirs: grid.DirSet(0).Add(dir)})
+		}
+	})
+	// Level k > 1: candidate sets are derived from each level-(k-1) record
+	// of a neighbor v in direction dir as S = v.Dirs + dir, then verified
+	// against every direction of S. Records from other blocks' frames
+	// simply fail verification without masking genuine roles.
+	nd := m.Shape().NumDirs()
+	for level := 2; level <= m.Shape().Dims(); level++ {
+		for dv := 0; dv < nd; dv++ {
+			dir := grid.Dir(dv)
+			nb := m.Neighbor(id, dir)
+			if nb == grid.InvalidNode {
+				continue
+			}
+			for _, a := range d.ann[nb] {
+				if int(a.Level) != level-1 || a.Dirs.Has(dir) || a.Dirs.Has(dir.Opposite()) {
+					continue
+				}
+				cand := a.Dirs.Add(dir)
+				if cand.Count() != level {
+					continue
+				}
+				if d.consistentCorner(id, cand, level) {
+					add(Announcement{Level: uint8(level), Dirs: cand})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		return out[i].Dirs < out[j].Dirs
+	})
+	return out
+}
+
+// consistentCorner verifies Definition 2's recursion for node id with the
+// candidate surface-direction set: every neighbor along a candidate
+// direction must announce the complementary set at the level below.
+func (d *Detector) consistentCorner(id grid.NodeID, dirs grid.DirSet, level int) bool {
+	nd := d.m.Shape().NumDirs()
+	for dv := 0; dv < nd; dv++ {
+		dir := grid.Dir(dv)
+		if !dirs.Has(dir) {
+			continue
+		}
+		nb := d.m.Neighbor(id, dir)
+		if nb == grid.InvalidNode {
+			return false
+		}
+		want := dirs.Remove(dir)
+		found := false
+		for _, a := range d.ann[nb] {
+			if int(a.Level) == level-1 && a.Dirs == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

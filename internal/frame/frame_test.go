@@ -1,0 +1,344 @@
+package frame
+
+import (
+	"testing"
+
+	"ndmesh/internal/block"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/mesh"
+	"ndmesh/internal/rng"
+)
+
+// fig1Box is the paper's block [3:5, 5:6, 3:4].
+var fig1Box = grid.NewBox(grid.Coord{3, 5, 3}, grid.Coord{5, 6, 4})
+
+func TestLevelClassification(t *testing.T) {
+	cases := []struct {
+		c     grid.Coord
+		level int
+		ok    bool
+	}{
+		{grid.Coord{2, 5, 3}, 1, true},  // adjacent (x at lo-1)
+		{grid.Coord{6, 6, 4}, 1, true},  // adjacent (x at hi+1)
+		{grid.Coord{5, 4, 5}, 2, true},  // 3-level edge node (paper example)
+		{grid.Coord{6, 5, 5}, 2, true},  // 3-level edge node
+		{grid.Coord{6, 4, 4}, 2, true},  // 3-level edge node
+		{grid.Coord{6, 4, 5}, 3, true},  // 3-level corner (paper example)
+		{grid.Coord{2, 4, 2}, 3, true},  // another corner
+		{grid.Coord{4, 5, 3}, 0, false}, // inside the block
+		{grid.Coord{1, 5, 3}, 0, false}, // two units out
+		{grid.Coord{7, 7, 5}, 0, false}, // diagonal far
+		{grid.Coord{4, 5}, 0, false},    // wrong dimensionality
+	}
+	for _, tc := range cases {
+		l, ok := Level(fig1Box, tc.c)
+		if ok != tc.ok || (ok && l != tc.level) {
+			t.Errorf("Level(%v) = %d,%v, want %d,%v", tc.c, l, ok, tc.level, tc.ok)
+		}
+	}
+}
+
+// TestFigure2CornerAndEdges verifies the paper's Figure 2 example: corner
+// (6,4,5) has surface directions toward the block and its three edge
+// neighbors are (5,4,5), (6,5,5), (6,4,4).
+func TestFigure2CornerAndEdges(t *testing.T) {
+	corner := grid.Coord{6, 4, 5}
+	if !IsCorner(fig1Box, corner) {
+		t.Fatal("corner not classified")
+	}
+	dirs := SurfaceDirs(fig1Box, corner)
+	want := grid.DirSet(0).Add(grid.DirMinus(0)).Add(grid.DirPlus(1)).Add(grid.DirMinus(2))
+	if dirs != want {
+		t.Fatalf("SurfaceDirs(corner) = %b, want -X +Y -Z (%b)", dirs, want)
+	}
+	// The edge neighbors lie exactly in the surface directions.
+	edges := []grid.Coord{{5, 4, 5}, {6, 5, 5}, {6, 4, 4}}
+	for _, e := range edges {
+		l, ok := Level(fig1Box, e)
+		if !ok || l != 2 {
+			t.Errorf("edge %v level = %d,%v", e, l, ok)
+		}
+	}
+	// Each 3-level edge node has two neighbors adjacent to the block; e.g.
+	// (5,4,5) has (5,5,5) and (5,4,4) per the paper.
+	for _, adj := range []grid.Coord{{5, 5, 5}, {5, 4, 4}} {
+		if !IsAdjacent(fig1Box, adj) {
+			t.Errorf("%v should be adjacent", adj)
+		}
+	}
+	// The edge's surface directions point to those adjacent nodes.
+	if d := SurfaceDirs(fig1Box, grid.Coord{5, 4, 5}); d != grid.DirSet(0).Add(grid.DirPlus(1)).Add(grid.DirMinus(2)) {
+		t.Errorf("SurfaceDirs((5,4,5)) = %b", d)
+	}
+}
+
+func TestCornersEnumeration(t *testing.T) {
+	cs := Corners(fig1Box)
+	if len(cs) != 8 {
+		t.Fatalf("3-D block must have 8 corners, got %d", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if l, ok := Level(fig1Box, c); !ok || l != 3 {
+			t.Errorf("corner %v misclassified", c)
+		}
+		seen[c.String()] = true
+	}
+	for _, want := range []grid.Coord{{2, 4, 2}, {6, 7, 5}, {2, 7, 5}, {6, 4, 2}} {
+		if !seen[want.String()] {
+			t.Errorf("missing corner %v", want)
+		}
+	}
+}
+
+func TestEachShellNode(t *testing.T) {
+	// Shell volume = expanded volume - interior volume.
+	exp := fig1Box.Expand(1)
+	want := exp.Volume() - fig1Box.Volume()
+	count := 0
+	levels := map[int]int{}
+	EachShellNode(fig1Box, func(c grid.Coord, level int) {
+		count++
+		levels[level]++
+	})
+	if count != want {
+		t.Fatalf("shell count = %d, want %d", count, want)
+	}
+	// 3-D shell: 8 corners, edges 12 of varying length, 6 faces.
+	if levels[3] != 8 {
+		t.Errorf("corner count = %d", levels[3])
+	}
+	// Edge nodes: 4*(ex+ey+ez) where e* are interior extents.
+	wantEdges := 4 * (fig1Box.Extent(0) + fig1Box.Extent(1) + fig1Box.Extent(2))
+	if levels[2] != wantEdges {
+		t.Errorf("edge node count = %d, want %d", levels[2], wantEdges)
+	}
+	// Face (adjacent) nodes: 2*(ex*ey + ey*ez + ex*ez).
+	ex, ey, ez := fig1Box.Extent(0), fig1Box.Extent(1), fig1Box.Extent(2)
+	wantFaces := 2 * (ex*ey + ey*ez + ex*ez)
+	if levels[1] != wantFaces {
+		t.Errorf("adjacent node count = %d, want %d", levels[1], wantFaces)
+	}
+}
+
+func TestEachLevelNode(t *testing.T) {
+	count := 0
+	EachLevelNode(fig1Box, 3, func(grid.Coord) { count++ })
+	if count != 8 {
+		t.Fatalf("EachLevelNode(3) visited %d", count)
+	}
+}
+
+func TestSurfaceIndexRoundtrip(t *testing.T) {
+	n := 3
+	seen := map[int]bool{}
+	for axis := 0; axis < n; axis++ {
+		for _, pos := range []bool{false, true} {
+			idx := SurfaceIndex(n, axis, pos)
+			if idx < 0 || idx >= 2*n || seen[idx] {
+				t.Fatalf("surface index collision or range: %d", idx)
+			}
+			seen[idx] = true
+			a, p := SurfaceAxisSide(n, idx)
+			if a != axis || p != pos {
+				t.Fatalf("roundtrip (%d,%v) -> %d -> (%d,%v)", axis, pos, idx, a, p)
+			}
+		}
+	}
+	// The paper's 3-D numbering: S_i opposite S_{(i+3) mod 6}.
+	for i := 0; i < 6; i++ {
+		a1, p1 := SurfaceAxisSide(3, i)
+		a2, p2 := SurfaceAxisSide(3, (i+3)%6)
+		if a1 != a2 || p1 == p2 {
+			t.Fatalf("S%d and S%d are not opposite", i, (i+3)%6)
+		}
+	}
+}
+
+// TestAdjacentSurfaces checks Definition 3: the six adjacent surfaces of
+// Figure 1(b).
+func TestAdjacentSurfaces(t *testing.T) {
+	// S1 (south, -Y side): y = 4, x in [3:5], z in [3:4].
+	s1 := AdjacentSurface(fig1Box, SurfaceIndex(3, 1, false))
+	if !s1.Equal(grid.NewBox(grid.Coord{3, 4, 3}, grid.Coord{5, 4, 4})) {
+		t.Fatalf("S1 = %v", s1)
+	}
+	// S4 (north, +Y side): y = 7.
+	s4 := AdjacentSurface(fig1Box, SurfaceIndex(3, 1, true))
+	if !s4.Equal(grid.NewBox(grid.Coord{3, 7, 3}, grid.Coord{5, 7, 4})) {
+		t.Fatalf("S4 = %v", s4)
+	}
+	// Every surface node is an adjacent node (level 1).
+	for surf := 0; surf < 6; surf++ {
+		AdjacentSurface(fig1Box, surf).Each(func(c grid.Coord) {
+			if !IsAdjacent(fig1Box, c) {
+				t.Fatalf("surface %d node %v not adjacent", surf, c)
+			}
+		})
+	}
+}
+
+// TestDetectorMatchesGeometry: after stabilization, the distributed
+// announcements must equal the geometric classification for every node of
+// the mesh — for the Figure 1 block and for random scattered blocks.
+func TestDetectorMatchesGeometry(t *testing.T) {
+	m, _ := mesh.NewUniform(3, 10)
+	for _, c := range []grid.Coord{{3, 5, 4}, {4, 5, 4}, {5, 5, 3}, {3, 6, 3}} {
+		m.FailAt(c)
+	}
+	block.StabilizeFull(m)
+	det := NewDetector(m)
+	ids := make([]grid.NodeID, m.NumNodes())
+	for i := range ids {
+		ids[i] = grid.NodeID(i)
+	}
+	det.Seed(ids...)
+	det.Run()
+	verifyDetector(t, m, det, fig1Box)
+}
+
+func verifyDetector(t *testing.T, m *mesh.Mesh, det *Detector, box grid.Box) {
+	t.Helper()
+	shape := m.Shape()
+	for id := 0; id < m.NumNodes(); id++ {
+		c := shape.CoordOf(grid.NodeID(id))
+		ann := det.Announcement(grid.NodeID(id))
+		wantLevel, onFrame := 0, false
+		if m.Status(grid.NodeID(id)) == mesh.Enabled {
+			wantLevel, onFrame = Level(box, c)
+		}
+		if !onFrame {
+			if ann.Level != 0 {
+				t.Errorf("node %v announces level %d, want none", c, ann.Level)
+			}
+			continue
+		}
+		if int(ann.Level) != wantLevel {
+			t.Errorf("node %v announces level %d, want %d", c, ann.Level, wantLevel)
+			continue
+		}
+		if want := SurfaceDirs(box, c); ann.Dirs != want {
+			t.Errorf("node %v dirs = %b, want %b", c, ann.Dirs, want)
+		}
+	}
+}
+
+// TestDetectorRandom2D: detector equivalence on random well-separated
+// 2-D blocks.
+func TestDetectorRandom2D(t *testing.T) {
+	r := rng.New(33)
+	for trial := 0; trial < 30; trial++ {
+		m, _ := mesh.NewUniform(2, 16)
+		// Place 2 isolated faults at Chebyshev distance >= 5.
+		var coords []grid.Coord
+		for len(coords) < 2 {
+			c := grid.Coord{2 + r.Intn(12), 2 + r.Intn(12)}
+			okc := true
+			for _, p := range coords {
+				dx, dy := abs(c[0]-p[0]), abs(c[1]-p[1])
+				if max(dx, dy) < 5 {
+					okc = false
+				}
+			}
+			if okc {
+				coords = append(coords, c)
+			}
+		}
+		var seeds []grid.NodeID
+		for _, c := range coords {
+			id := m.Shape().Index(c)
+			m.Fail(id)
+			seeds = append(seeds, id)
+		}
+		block.Stabilize(m, seeds...)
+		det := NewDetector(m)
+		det.Seed(seeds...)
+		det.Run()
+		for _, c := range coords {
+			box := grid.BoxAt(c)
+			// Check the 8 ring nodes and 4 corners of each singleton.
+			EachShellNode(box, func(sc grid.Coord, level int) {
+				if !m.Shape().Contains(sc) {
+					return
+				}
+				ann := det.Announcement(m.Shape().Index(sc))
+				if int(ann.Level) != level {
+					t.Errorf("trial %d: %v level %d, want %d", trial, sc, ann.Level, level)
+				}
+			})
+		}
+	}
+}
+
+// TestDetectorReactsToRecovery: announcements must follow the labeling
+// after a block dissolves.
+func TestDetectorReactsToRecovery(t *testing.T) {
+	m, _ := mesh.NewUniform(2, 10)
+	id := m.Shape().Index(grid.Coord{5, 5})
+	m.Fail(id)
+	st := block.NewStepper(m)
+	st.Seed(id)
+	st.Run()
+	det := NewDetector(m)
+	det.Seed(id)
+	det.Run()
+	corner := m.Shape().Index(grid.Coord{4, 4})
+	if det.Announcement(corner).Level != 2 {
+		t.Fatalf("corner not detected: %+v", det.Announcement(corner))
+	}
+	// Recover; run labeling + detector rounds interleaved (as core does).
+	m.Recover(id)
+	st.Seed(id)
+	det.Seed(id)
+	for i := 0; i < 20; i++ {
+		if ch := st.Round(); ch > 0 {
+			det.Seed(st.LastChanged()...)
+		}
+		det.Round()
+	}
+	if ann := det.Announcement(corner); ann.Level != 0 {
+		t.Fatalf("corner announcement survives dissolved block: %+v", ann)
+	}
+	if ann := det.Announcement(id); ann.Level != 0 {
+		t.Fatalf("recovered node announces: %+v", ann)
+	}
+}
+
+// TestDetectorAdjacentFrames is the regression test for corner detection
+// with a second block whose frame touches the first block's frame: the
+// corner (4,7,4) of block [5:5, 5:6, 5:6] sees a fourth level-2 neighbor
+// (3,7,4) belonging to block [2:2, 7:7, 3:3]'s frame, and must still
+// announce level 3 (candidate-set detection, not neighbor counting).
+func TestDetectorAdjacentFrames(t *testing.T) {
+	m, _ := mesh.NewUniform(3, 10)
+	var seeds []grid.NodeID
+	for _, c := range []grid.Coord{{5, 5, 5}, {5, 6, 6}, {2, 7, 3}} {
+		id := m.Shape().Index(c)
+		m.Fail(id)
+		seeds = append(seeds, id)
+	}
+	block.Stabilize(m, seeds...)
+	det := NewDetector(m)
+	det.Seed(seeds...)
+	det.Run()
+
+	boxA := grid.NewBox(grid.Coord{5, 5, 5}, grid.Coord{5, 6, 6})
+	boxB := grid.BoxAt(grid.Coord{2, 7, 3})
+	cornerA := grid.Coord{4, 7, 4}
+	cornerB := grid.Coord{3, 6, 4}
+	annA := det.Announcement(m.Shape().Index(cornerA))
+	if int(annA.Level) != 3 || annA.Dirs != SurfaceDirs(boxA, cornerA) {
+		t.Fatalf("corner %v of %v: announcement %+v", cornerA, boxA, annA)
+	}
+	annB := det.Announcement(m.Shape().Index(cornerB))
+	if int(annB.Level) != 3 || annB.Dirs != SurfaceDirs(boxB, cornerB) {
+		t.Fatalf("corner %v of %v: announcement %+v", cornerB, boxB, annB)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,199 @@
+package grid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Box is a closed axis-aligned box [Lo_1:Hi_1, ..., Lo_n:Hi_n] of nodes.
+// Faulty blocks (Definition 1) are boxes; so are block sections identified in
+// phase 2 of Algorithm 2 and the dangerous "shadow" regions boundaries guard.
+type Box struct {
+	Lo, Hi Coord
+}
+
+// NewBox builds a box from inclusive corner coordinates; it panics if the
+// corners have mismatched dimensions or Lo > Hi on some axis, since boxes are
+// constructed from already-validated geometry.
+func NewBox(lo, hi Coord) Box {
+	if len(lo) != len(hi) {
+		panic("grid: box corners of different dimension")
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			panic(fmt.Sprintf("grid: box corner order violated on axis %d: [%d:%d]", i, lo[i], hi[i]))
+		}
+	}
+	return Box{Lo: lo.Clone(), Hi: hi.Clone()}
+}
+
+// BoxAt returns the degenerate single-node box at c.
+func BoxAt(c Coord) Box { return Box{Lo: c.Clone(), Hi: c.Clone()} }
+
+// Dims returns the dimensionality of the box.
+func (b Box) Dims() int { return len(b.Lo) }
+
+// Clone returns a deep copy.
+func (b Box) Clone() Box { return Box{Lo: b.Lo.Clone(), Hi: b.Hi.Clone()} }
+
+// Equal reports componentwise equality.
+func (b Box) Equal(o Box) bool { return b.Lo.Equal(o.Lo) && b.Hi.Equal(o.Hi) }
+
+// Contains reports whether c lies inside the box.
+func (b Box) Contains(c Coord) bool {
+	if len(c) != len(b.Lo) {
+		return false
+	}
+	for i := range c {
+		if c[i] < b.Lo[i] || c[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsOn reports whether value v lies within the box's extent on axis.
+func (b Box) ContainsOn(axis, v int) bool { return v >= b.Lo[axis] && v <= b.Hi[axis] }
+
+// Intersects reports whether the two boxes share at least one node.
+func (b Box) Intersects(o Box) bool {
+	for i := range b.Lo {
+		if b.Hi[i] < o.Lo[i] || o.Hi[i] < b.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersection returns the common sub-box and whether it is non-empty.
+func (b Box) Intersection(o Box) (Box, bool) {
+	lo := make(Coord, len(b.Lo))
+	hi := make(Coord, len(b.Lo))
+	for i := range b.Lo {
+		lo[i] = max(b.Lo[i], o.Lo[i])
+		hi[i] = min(b.Hi[i], o.Hi[i])
+		if lo[i] > hi[i] {
+			return Box{}, false
+		}
+	}
+	return Box{Lo: lo, Hi: hi}, true
+}
+
+// Hull returns the smallest box containing both b and o.
+func (b Box) Hull(o Box) Box {
+	lo := make(Coord, len(b.Lo))
+	hi := make(Coord, len(b.Lo))
+	for i := range b.Lo {
+		lo[i] = min(b.Lo[i], o.Lo[i])
+		hi[i] = max(b.Hi[i], o.Hi[i])
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Include grows the box in place so it contains c.
+func (b *Box) Include(c Coord) {
+	for i := range c {
+		if c[i] < b.Lo[i] {
+			b.Lo[i] = c[i]
+		}
+		if c[i] > b.Hi[i] {
+			b.Hi[i] = c[i]
+		}
+	}
+}
+
+// Expand returns the box grown by r on every side (clipped by nothing; use
+// Clip to stay inside a mesh). Expand(1) turns a block's interior box into
+// the frame box whose faces are the adjacent surfaces of Definition 3.
+func (b Box) Expand(r int) Box {
+	lo := make(Coord, len(b.Lo))
+	hi := make(Coord, len(b.Lo))
+	for i := range b.Lo {
+		lo[i] = b.Lo[i] - r
+		hi[i] = b.Hi[i] + r
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Clip returns the part of the box inside the shape's address space and
+// whether it is non-empty.
+func (b Box) Clip(s *Shape) (Box, bool) {
+	lo := make(Coord, len(b.Lo))
+	hi := make(Coord, len(b.Lo))
+	for i := range b.Lo {
+		lo[i] = max(b.Lo[i], 0)
+		hi[i] = min(b.Hi[i], s.Radix(i)-1)
+		if lo[i] > hi[i] {
+			return Box{}, false
+		}
+	}
+	return Box{Lo: lo, Hi: hi}, true
+}
+
+// Extent returns Hi-Lo+1 on the axis: the block's edge length there.
+func (b Box) Extent(axis int) int { return b.Hi[axis] - b.Lo[axis] + 1 }
+
+// MaxExtent returns the longest edge length over all axes; this is the
+// per-block contribution to e_max in Table 1.
+func (b Box) MaxExtent() int {
+	m := 0
+	for i := range b.Lo {
+		if e := b.Extent(i); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Volume returns the node count of the box.
+func (b Box) Volume() int {
+	v := 1
+	for i := range b.Lo {
+		v *= b.Extent(i)
+	}
+	return v
+}
+
+// Each invokes fn for every node coordinate inside the box, in row-major
+// order. The callback receives a reused scratch coordinate: clone it to keep.
+func (b Box) Each(fn func(Coord)) {
+	c := b.Lo.Clone()
+	for {
+		fn(c)
+		axis := 0
+		for axis < len(c) {
+			c[axis]++
+			if c[axis] <= b.Hi[axis] {
+				break
+			}
+			c[axis] = b.Lo[axis]
+			axis++
+		}
+		if axis == len(c) {
+			return
+		}
+	}
+}
+
+// EachID invokes fn for every node of the box that lies inside the shape.
+func (b Box) EachID(s *Shape, fn func(NodeID)) {
+	clipped, ok := b.Clip(s)
+	if !ok {
+		return
+	}
+	clipped.Each(func(c Coord) { fn(s.Index(c)) })
+}
+
+// String renders the paper's block notation "[lo1:hi1, lo2:hi2, ...]".
+func (b Box) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := range b.Lo {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%d:%d", b.Lo[i], b.Hi[i])
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

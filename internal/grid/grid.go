@@ -1,0 +1,364 @@
+// Package grid provides the coordinate geometry of k-ary n-dimensional
+// meshes: addresses, linearized node indices, directions, Manhattan
+// distance, and axis-aligned boxes (the shape of faulty blocks).
+//
+// Everything in this package is pure geometry with no simulation state, so
+// it is shared by the mesh fabric, the labeling/identification/boundary
+// protocols, the routers, and the analytical bound calculators.
+//
+// Conventions (Section 2.1 of the paper):
+//   - A node address is (u_1, u_2, ..., u_n) with 0 <= u_i <= k_i-1.
+//     Mixed-radix shapes are supported; the paper's uniform k-ary mesh is
+//     the special case with all k_i equal.
+//   - Two nodes are connected iff their addresses differ by exactly one in
+//     exactly one dimension (each dimension is a linear array, no wraparound).
+//   - The distance D(u, v) is the Manhattan distance.
+package grid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Coord is an n-dimensional node address. Coords are small slices; hot paths
+// use linear NodeIDs instead and convert only at the edges of the system.
+type Coord []int
+
+// Clone returns an independent copy of c.
+func (c Coord) Clone() Coord {
+	out := make(Coord, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether c and d have identical length and components.
+func (c Coord) Equal(d Coord) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the coordinate as "(u1,u2,...,un)".
+func (c Coord) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Manhattan returns the L1 distance |c-d|; it panics if dimensions differ.
+func Manhattan(c, d Coord) int {
+	if len(c) != len(d) {
+		panic("grid: Manhattan distance between coords of different dimension")
+	}
+	sum := 0
+	for i := range c {
+		sum += abs(c[i] - d[i])
+	}
+	return sum
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// NodeID is the linearized index of a node in row-major order. IDs are dense
+// in [0, NumNodes) which lets all per-node protocol state live in flat
+// arrays — the layout every hot loop in the simulator iterates over.
+type NodeID int32
+
+// InvalidNode marks "no such node" (off-mesh neighbor slots).
+const InvalidNode NodeID = -1
+
+// Dir identifies one of the 2n mesh directions. Direction 2*a is the
+// positive direction along axis a ("+a"), 2*a+1 is the negative direction
+// ("-a"). The zero value is "+axis0".
+type Dir int8
+
+// InvalidDir marks "no direction" (e.g. the incoming direction of a message
+// still at its source).
+const InvalidDir Dir = -1
+
+// DirPlus and DirMinus build a direction from an axis.
+func DirPlus(axis int) Dir  { return Dir(2 * axis) }
+func DirMinus(axis int) Dir { return Dir(2*axis + 1) }
+
+// Axis returns the axis d moves along.
+func (d Dir) Axis() int { return int(d) >> 1 }
+
+// Positive reports whether d is the +axis direction.
+func (d Dir) Positive() bool { return d&1 == 0 }
+
+// Sign returns +1 for a positive direction, -1 for a negative one.
+func (d Dir) Sign() int {
+	if d.Positive() {
+		return 1
+	}
+	return -1
+}
+
+// Opposite returns the reverse direction; the opposite of InvalidDir is
+// InvalidDir.
+func (d Dir) Opposite() Dir {
+	if d < 0 {
+		return InvalidDir
+	}
+	return d ^ 1
+}
+
+// String renders a direction as "+X"/"-Y" for the first three axes and
+// "+d3", "-d4", ... beyond.
+func (d Dir) String() string {
+	if d < 0 {
+		return "none"
+	}
+	sign := "+"
+	if !d.Positive() {
+		sign = "-"
+	}
+	switch d.Axis() {
+	case 0:
+		return sign + "X"
+	case 1:
+		return sign + "Y"
+	case 2:
+		return sign + "Z"
+	default:
+		return fmt.Sprintf("%sd%d", sign, d.Axis())
+	}
+}
+
+// DirSet is a bitmask over the 2n directions of a mesh (n <= 16).
+type DirSet uint32
+
+// Add returns the set with d included.
+func (s DirSet) Add(d Dir) DirSet { return s | 1<<uint(d) }
+
+// Has reports whether d is in the set.
+func (s DirSet) Has(d Dir) bool { return d >= 0 && s&(1<<uint(d)) != 0 }
+
+// Remove returns the set with d excluded.
+func (s DirSet) Remove(d Dir) DirSet { return s &^ (1 << uint(d)) }
+
+// Count returns the number of directions in the set.
+func (s DirSet) Count() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+// Shape describes a k-ary n-D mesh: the radix of every dimension plus the
+// precomputed strides used to linearize addresses.
+type Shape struct {
+	dims    []int
+	strides []int
+	n       int // number of nodes
+}
+
+// NewShape builds a Shape from per-dimension radices. Every radix must be
+// at least 1; at least one dimension is required. The paper's k-ary n-D mesh
+// is NewShape(k, k, ..., k) with n entries.
+func NewShape(dims ...int) (*Shape, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("grid: shape needs at least one dimension")
+	}
+	if len(dims) > 16 {
+		return nil, fmt.Errorf("grid: at most 16 dimensions supported, got %d", len(dims))
+	}
+	s := &Shape{
+		dims:    append([]int(nil), dims...),
+		strides: make([]int, len(dims)),
+		n:       1,
+	}
+	for i, k := range dims {
+		if k < 1 {
+			return nil, fmt.Errorf("grid: dimension %d has radix %d (< 1)", i, k)
+		}
+		s.strides[i] = s.n
+		if s.n > (1<<31-1)/k {
+			return nil, fmt.Errorf("grid: shape %v exceeds 2^31-1 nodes", dims)
+		}
+		s.n *= k
+	}
+	return s, nil
+}
+
+// MustShape is NewShape but panics on error; for tests and examples.
+func MustShape(dims ...int) *Shape {
+	s, err := NewShape(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Uniform builds the k-ary n-D mesh shape of the paper.
+func Uniform(n, k int) (*Shape, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("grid: need n >= 1 dimensions, got %d", n)
+	}
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = k
+	}
+	return NewShape(dims...)
+}
+
+// Dims returns the number of dimensions n.
+func (s *Shape) Dims() int { return len(s.dims) }
+
+// Radix returns k_axis, the extent of the given dimension.
+func (s *Shape) Radix(axis int) int { return s.dims[axis] }
+
+// Radices returns a copy of the per-dimension extents.
+func (s *Shape) Radices() []int { return append([]int(nil), s.dims...) }
+
+// NumNodes returns the total node count N = k_1 * ... * k_n.
+func (s *Shape) NumNodes() int { return s.n }
+
+// NumDirs returns 2n, the number of mesh directions.
+func (s *Shape) NumDirs() int { return 2 * len(s.dims) }
+
+// Diameter returns the network diameter sum_i (k_i - 1); for the uniform
+// k-ary n-D mesh this is (k-1)*n as in Section 2.1.
+func (s *Shape) Diameter() int {
+	d := 0
+	for _, k := range s.dims {
+		d += k - 1
+	}
+	return d
+}
+
+// Contains reports whether c is a valid address of the mesh.
+func (s *Shape) Contains(c Coord) bool {
+	if len(c) != len(s.dims) {
+		return false
+	}
+	for i, v := range c {
+		if v < 0 || v >= s.dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Index linearizes an address. It panics if c is outside the mesh: callers
+// validate with Contains first when handling untrusted coordinates.
+func (s *Shape) Index(c Coord) NodeID {
+	if len(c) != len(s.dims) {
+		panic(fmt.Sprintf("grid: coord %v has %d dims, shape has %d", c, len(c), len(s.dims)))
+	}
+	id := 0
+	for i, v := range c {
+		if v < 0 || v >= s.dims[i] {
+			panic(fmt.Sprintf("grid: coord %v outside shape %v", c, s.dims))
+		}
+		id += v * s.strides[i]
+	}
+	return NodeID(id)
+}
+
+// Coord recovers the address of a node id, writing into dst if it has the
+// right length (avoiding an allocation) and allocating otherwise.
+func (s *Shape) Coord(id NodeID, dst Coord) Coord {
+	if len(dst) != len(s.dims) {
+		dst = make(Coord, len(s.dims))
+	}
+	rem := int(id)
+	for i := len(s.dims) - 1; i >= 0; i-- {
+		dst[i] = rem / s.strides[i]
+		rem %= s.strides[i]
+	}
+	return dst
+}
+
+// CoordOf is Coord with a fresh destination.
+func (s *Shape) CoordOf(id NodeID) Coord { return s.Coord(id, nil) }
+
+// Component returns coordinate `axis` of node id without materializing the
+// whole address.
+func (s *Shape) Component(id NodeID, axis int) int {
+	return (int(id) / s.strides[axis]) % s.dims[axis]
+}
+
+// Neighbor returns the node one hop from id in direction d, or InvalidNode
+// if that hop leaves the mesh.
+func (s *Shape) Neighbor(id NodeID, d Dir) NodeID {
+	axis := d.Axis()
+	v := s.Component(id, axis)
+	if d.Positive() {
+		if v+1 >= s.dims[axis] {
+			return InvalidNode
+		}
+		return id + NodeID(s.strides[axis])
+	}
+	if v == 0 {
+		return InvalidNode
+	}
+	return id - NodeID(s.strides[axis])
+}
+
+// Distance returns the Manhattan distance between two node ids.
+func (s *Shape) Distance(a, b NodeID) int {
+	sum := 0
+	for i := range s.dims {
+		sum += abs(s.Component(a, i) - s.Component(b, i))
+	}
+	return sum
+}
+
+// OnBorder reports whether the node lies on the outermost surface of the
+// mesh (some coordinate is 0 or k_i-1). The paper's model assumes no fault
+// occurs on the outermost surface; boundary rays terminate there.
+func (s *Shape) OnBorder(id NodeID) bool {
+	for i := range s.dims {
+		v := s.Component(id, i)
+		if v == 0 || v == s.dims[i]-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// PreferredDirs appends to dst the preferred directions for travelling from
+// u toward d: the directions that strictly reduce Manhattan distance
+// (Section 2.1). The remaining directions are spare.
+func (s *Shape) PreferredDirs(u, d NodeID, dst []Dir) []Dir {
+	for axis := 0; axis < len(s.dims); axis++ {
+		cu, cd := s.Component(u, axis), s.Component(d, axis)
+		switch {
+		case cu < cd:
+			dst = append(dst, DirPlus(axis))
+		case cu > cd:
+			dst = append(dst, DirMinus(axis))
+		}
+	}
+	return dst
+}
+
+// String renders the shape as "k1 x k2 x ... x kn mesh".
+func (s *Shape) String() string {
+	parts := make([]string, len(s.dims))
+	for i, k := range s.dims {
+		parts[i] = fmt.Sprintf("%d", k)
+	}
+	return strings.Join(parts, "x") + " mesh"
+}

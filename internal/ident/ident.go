@@ -1,0 +1,655 @@
+// Package ident implements Algorithm 2's identification process: the
+// distributed, hop-by-hop discovery of a faulty block's extent, started at
+// a newly-formed n-level corner, organized in the paper's three phases:
+//
+//	Phase 1: k-1 identification messages travel from a k-level corner along
+//	         k-1 of its surface directions, visiting every k-level edge node.
+//	Phase 2: at each edge node, a (k-1)-level identification of the block's
+//	         cross-section at that position is activated; the base case
+//	         (2-level) is a pair of messages walking the adjacent ring of a
+//	         2-D section in opposite orientations, meeting at the opposite
+//	         2-level corner with the section extents.
+//	Phase 3: a collection message walks the opposite edge, gathering each
+//	         position's identified section, checking consistency ("if there
+//	         is a different section, the block is not stable"), and delivers
+//	         the assembled block information to the k-level corner opposite
+//	         the initialization corner.
+//
+// Every message advances one hop per round and takes decisions from local
+// information only: the status of the nodes adjacent to it and the frame
+// announcements (internal/frame) of its one-hop neighborhood. A message
+// that senses an inconsistency — a faulty or disabled node in the
+// forwarding direction, a section that does not match — kills its run, and
+// every run carries a TTL after which it is discarded, exactly as Section 3
+// prescribes for unstable blocks. Initiating corners retry with a backoff
+// until their block's record reaches them.
+//
+// When the opposite corner has assembled consistent information from all
+// n-1 collectors, the protocol reports the identified block through the
+// OnIdentified callback; the orchestrator (internal/core) then launches the
+// combined phase-4/boundary flood (internal/boundary) that distributes the
+// record over the block's frame and boundary walls.
+package ident
+
+import (
+	"ndmesh/internal/frame"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/info"
+	"ndmesh/internal/mesh"
+)
+
+// Protocol drives all in-flight identification runs.
+type Protocol struct {
+	m     *mesh.Mesh
+	det   *frame.Detector
+	store *info.Store
+
+	// OnIdentified is invoked when a run completes with the identified
+	// block box and the opposite corner at which the information formed.
+	OnIdentified func(box grid.Box, oppositeCorner grid.NodeID)
+
+	// TTL is the round budget of a run before it is discarded.
+	TTL int
+	// Backoff is the delay before a corner may re-initiate.
+	Backoff int
+	// MaxRetries bounds re-initiations per corner between Notify events,
+	// guaranteeing quiescence even around permanently unidentifiable
+	// configurations (e.g. interfering blocks closer than two hops).
+	MaxRetries int
+
+	retryCount map[grid.NodeID]int
+
+	runs    []*run
+	walkers []*walker
+	retryAt map[grid.NodeID]int
+	// pending holds nodes to consider for initiation (fed by announcement
+	// changes and by retry wakeups); inPending dedups.
+	pending   []grid.NodeID
+	inPending map[grid.NodeID]struct{}
+	// retryQueue holds scheduled re-initiations of corners whose runs
+	// failed or were discarded.
+	retryQueue []retryEntry
+	round      int
+	seq        int
+	wseq       int
+
+	// Hops counts walker moves (identification message cost).
+	Hops int
+	// Started, Completed, Failed count runs for the harness.
+	Started, Completed, Failed int
+}
+
+// NewProtocol builds an identification protocol over the mesh, frame
+// detector and info store.
+func NewProtocol(m *mesh.Mesh, det *frame.Detector, store *info.Store) *Protocol {
+	diam := m.Shape().Diameter()
+	return &Protocol{
+		m:          m,
+		det:        det,
+		store:      store,
+		TTL:        6*diam + 24,
+		Backoff:    2*diam + 8,
+		MaxRetries: 4,
+		retryAt:    make(map[grid.NodeID]int),
+		retryCount: make(map[grid.NodeID]int),
+		inPending:  make(map[grid.NodeID]struct{}),
+	}
+}
+
+// retryEntry schedules a node for re-consideration at a future round.
+type retryEntry struct {
+	at   int
+	node grid.NodeID
+}
+
+// Notify feeds nodes whose frame announcement changed (or that otherwise
+// deserve a look) into the initiation queue, resetting their retry budget:
+// fresh local conditions deserve fresh attempts. The orchestrator calls it
+// with the frame detector's per-round change list.
+func (p *Protocol) Notify(ids ...grid.NodeID) {
+	for _, id := range ids {
+		delete(p.retryCount, id)
+		p.pend(id)
+	}
+}
+
+func (p *Protocol) pend(id grid.NodeID) {
+	if _, dup := p.inPending[id]; !dup {
+		p.inPending[id] = struct{}{}
+		p.pending = append(p.pending, id)
+	}
+}
+
+// run is one identification process, initiated at one n-level corner.
+type run struct {
+	id        int
+	initiator grid.NodeID
+	deadline  int
+	failed    bool
+	done      bool
+	// results holds completed sub-identifications, keyed by the node where
+	// the identified section information rests (the sub's opposite corner).
+	results map[grid.NodeID]grid.Box
+	top     *subRun
+}
+
+// subRun is one (possibly nested) k-level identification: the top-level one
+// plus one per edge position per level above 2.
+type subRun struct {
+	r          *run
+	parent     *subRun
+	parentAxis int  // travel axis of the parent edge this sub hangs off
+	isFirst    bool // first position on the parent's edge (collector trigger)
+	level      int
+	freeAxes   []int
+	start      grid.NodeID
+	// dirs is the start corner's surface-direction role for this sub; the
+	// expected frame roles of every node the walkers touch derive from it,
+	// which keeps the walk unambiguous even when other blocks' frames are
+	// nearby.
+	dirs grid.DirSet
+
+	travelAxes []int
+	edgeDir    map[int]grid.Dir // per travel axis, the phase-1 direction
+
+	// ring rendezvous (level 2 only).
+	ringNode grid.NodeID
+	ringBox  *grid.Box
+
+	// phase 3 (level >= 3 only).
+	collectorUp map[int]bool     // travel axis -> collector spawned
+	collected   map[int]grid.Box // travel axis -> delivered hull
+	deliverNode grid.NodeID      // where collectors delivered (must agree)
+}
+
+type walkerKind uint8
+
+const (
+	edgeWalker walkerKind = iota
+	ringWalker
+	collectWalker
+)
+
+// walker is one identification message.
+type walker struct {
+	id   int
+	s    *subRun
+	kind walkerKind
+	pos  grid.NodeID
+	dir  grid.Dir // edge/collect: travel direction; ring: current move dir
+	axis int      // edge/collect: travel axis
+
+	inward grid.Dir // ring: direction toward the block section
+	legs   int      // ring: corners passed
+	seen   grid.Box // ring: extremes of visited corner coordinates
+
+	hull    *grid.Box // collect: accumulated block information
+	first   *grid.Box // collect: first section, for the consistency check
+	folded  bool      // collect: current node's section already folded
+	done    bool
+	spawned bool // edge: whether this position's sub was spawned
+}
+
+// Round advances the protocol one round: initiates runs at eligible
+// corners, moves every walker one hop, and retires finished or failed runs.
+// It returns the number of elementary actions (moves + initiations), which
+// is zero at quiescence.
+func (p *Protocol) Round() int {
+	p.round++
+	actions := p.initiate()
+
+	// Advance walkers in id order for determinism.
+	for _, w := range p.walkers {
+		if w.done || w.s.r.failed || w.s.r.done {
+			continue
+		}
+		actions += p.advance(w)
+	}
+
+	// Retire walkers and runs.
+	liveW := p.walkers[:0]
+	for _, w := range p.walkers {
+		if !w.done && !w.s.r.failed && !w.s.r.done {
+			liveW = append(liveW, w)
+		}
+	}
+	p.walkers = liveW
+	liveR := p.runs[:0]
+	for _, r := range p.runs {
+		if r.done {
+			p.Completed++
+			continue
+		}
+		if r.failed || p.round > r.deadline {
+			p.Failed++
+			r.failed = true
+			// Schedule a retry from the initiator if budget remains.
+			if p.retryCount[r.initiator] < p.MaxRetries {
+				p.retryQueue = append(p.retryQueue, retryEntry{at: p.retryAt[r.initiator], node: r.initiator})
+			}
+			continue
+		}
+		liveR = append(liveR, r)
+	}
+	p.runs = liveR
+	return actions
+}
+
+// Quiescent reports whether nothing is in flight or scheduled.
+func (p *Protocol) Quiescent() bool {
+	return len(p.runs) == 0 && len(p.walkers) == 0 &&
+		len(p.pending) == 0 && len(p.retryQueue) == 0
+}
+
+// Active returns the number of in-flight runs.
+func (p *Protocol) Active() int { return len(p.runs) }
+
+// initiate starts a run at every pending enabled n-level corner that lacks
+// a record of the block it is a corner of and whose backoff has expired.
+func (p *Protocol) initiate() int {
+	// Wake scheduled retries that are due (without resetting retry
+	// budgets) and drop retries whose corner has meanwhile received its
+	// block record from another initiator's construction.
+	n := p.m.Shape().Dims()
+	scratchRetry := make(grid.Coord, n)
+	due := p.retryQueue[:0]
+	for _, e := range p.retryQueue {
+		// Drop retries that became moot: the node stopped being an
+		// n-level corner (its announcement was transient), or it received
+		// its block record from another initiator's construction.
+		if int(p.det.Announcement(e.node).Level) != n ||
+			p.hasCornerRecord(e.node, p.m.Shape().Coord(e.node, scratchRetry)) {
+			continue
+		}
+		if e.at <= p.round {
+			p.pend(e.node)
+		} else {
+			due = append(due, e)
+		}
+	}
+	p.retryQueue = due
+
+	started := 0
+	scratch := make(grid.Coord, n)
+	todo := p.pending
+	p.pending = nil
+	for _, id := range todo {
+		delete(p.inPending, id)
+		if p.m.Status(id) != mesh.Enabled {
+			continue
+		}
+		for _, ann := range p.det.Records(id) {
+			if int(ann.Level) != n {
+				continue
+			}
+			c := p.m.Shape().Coord(id, scratch)
+			if p.hasCornerRecordFor(id, c, ann.Dirs) {
+				continue
+			}
+			// The retry budget bounds total initiations from this corner
+			// between Notify events, whatever the outcome of earlier runs;
+			// without it, a corner serving two blocks would re-identify
+			// forever when one block's record cannot reach it.
+			if p.retryCount[id] >= p.MaxRetries {
+				continue
+			}
+			if at, ok := p.retryAt[id]; ok && p.round < at {
+				// Back off: re-examine when the backoff expires.
+				p.retryQueue = append(p.retryQueue, retryEntry{at: at, node: id})
+				continue
+			}
+			p.startRun(id, ann)
+			started++
+		}
+	}
+	return started
+}
+
+// hasCornerRecord reports whether node id already holds a block record it
+// is an n-level corner of (any role).
+func (p *Protocol) hasCornerRecord(id grid.NodeID, c grid.Coord) bool {
+	for _, r := range p.store.At(id) {
+		if frame.IsCorner(r.Box, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCornerRecordFor reports whether node id holds a block record matching
+// the specific corner role (surface directions).
+func (p *Protocol) hasCornerRecordFor(id grid.NodeID, c grid.Coord, dirs grid.DirSet) bool {
+	for _, r := range p.store.At(id) {
+		if frame.IsCorner(r.Box, c) && frame.SurfaceDirs(r.Box, c) == dirs {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Protocol) startRun(corner grid.NodeID, ann frame.Announcement) {
+	p.seq++
+	p.Started++
+	p.retryCount[corner]++
+	n := p.m.Shape().Dims()
+	r := &run{
+		id:        p.seq,
+		initiator: corner,
+		deadline:  p.round + p.TTL,
+		results:   make(map[grid.NodeID]grid.Box),
+	}
+	free := make([]int, n)
+	for i := range free {
+		free[i] = i
+	}
+	r.top = &subRun{r: r, level: n, freeAxes: free, start: corner, dirs: ann.Dirs}
+	p.runs = append(p.runs, r)
+	p.retryAt[corner] = p.round + p.TTL + p.Backoff
+	p.launch(r.top)
+}
+
+// launch starts the walkers of a sub-identification from its start corner,
+// whose surface-direction role is s.dirs.
+func (p *Protocol) launch(s *subRun) {
+	if s.level == 2 {
+		// Base case: ring pair around the 2-D section.
+		i, j := s.freeAxes[0], s.freeAxes[1]
+		di, okI := axisDir(s.dirs, i)
+		dj, okJ := axisDir(s.dirs, j)
+		if !okI || !okJ {
+			s.r.failed = true
+			return
+		}
+		startCoord := p.m.Shape().CoordOf(s.start)
+		p.addWalker(&walker{s: s, kind: ringWalker, pos: s.start, dir: di, inward: dj, seen: grid.BoxAt(startCoord)})
+		p.addWalker(&walker{s: s, kind: ringWalker, pos: s.start, dir: dj, inward: di, seen: grid.BoxAt(startCoord)})
+		return
+	}
+	// Phase 1: k-1 edge walkers; the excluded free axis is the highest.
+	s.travelAxes = s.freeAxes[:len(s.freeAxes)-1]
+	s.edgeDir = make(map[int]grid.Dir, len(s.travelAxes))
+	s.collectorUp = make(map[int]bool, len(s.travelAxes))
+	s.collected = make(map[int]grid.Box, len(s.travelAxes))
+	s.deliverNode = grid.InvalidNode
+	for _, a := range s.travelAxes {
+		d, ok := axisDir(s.dirs, a)
+		if !ok {
+			s.r.failed = true
+			return
+		}
+		s.edgeDir[a] = d
+		p.addWalker(&walker{s: s, kind: edgeWalker, pos: s.start, dir: d, axis: a})
+	}
+}
+
+// flipAll reverses every direction in a set: the role of the node opposite
+// along every announced axis.
+func flipAll(dirs grid.DirSet) grid.DirSet {
+	var out grid.DirSet
+	for dv := 0; dv < 32; dv++ {
+		if dirs.Has(grid.Dir(dv)) {
+			out = out.Add(grid.Dir(dv).Opposite())
+		}
+	}
+	return out
+}
+
+func (p *Protocol) addWalker(w *walker) {
+	p.wseq++
+	w.id = p.wseq
+	p.walkers = append(p.walkers, w)
+}
+
+// axisDir extracts the direction along the given axis from a direction set.
+func axisDir(dirs grid.DirSet, axis int) (grid.Dir, bool) {
+	if dirs.Has(grid.DirPlus(axis)) {
+		return grid.DirPlus(axis), true
+	}
+	if dirs.Has(grid.DirMinus(axis)) {
+		return grid.DirMinus(axis), true
+	}
+	return grid.InvalidDir, false
+}
+
+// advance moves one walker one hop (or lets a collector wait) and returns
+// the number of moves performed (0 or 1).
+func (p *Protocol) advance(w *walker) int {
+	switch w.kind {
+	case edgeWalker:
+		return p.advanceEdge(w)
+	case ringWalker:
+		return p.advanceRing(w)
+	case collectWalker:
+		return p.advanceCollect(w)
+	}
+	return 0
+}
+
+func (p *Protocol) advanceEdge(w *walker) int {
+	next := p.m.Neighbor(w.pos, w.dir)
+	if next == grid.InvalidNode || p.m.Status(next) != mesh.Enabled {
+		w.s.r.failed = true // faulty/disabled/missing node in the forwarding direction
+		return 0
+	}
+	// The roles the walk expects, derived from the initiating corner's
+	// role: edge nodes along travel direction d announce the corner's set
+	// minus d; the far corner announces the set with d reversed.
+	expectEdge := w.s.dirs.Remove(w.dir)
+	expectFar := expectEdge.Add(w.dir.Opposite())
+	switch {
+	case p.det.HasRecord(next, w.s.level-1, expectEdge):
+		// Next edge node: move and activate the down-level identification.
+		w.pos = next
+		p.Hops++
+		p.spawnSub(w, next, expectEdge)
+		return 1
+	case p.det.HasRecord(next, w.s.level, expectFar):
+		// The far corner: phase 1 along this edge is complete.
+		w.pos = next
+		w.done = true
+		p.Hops++
+		return 1
+	default:
+		// Frame announcements may still be stabilizing: wait one round
+		// rather than failing outright; the TTL bounds total waiting.
+		return 0
+	}
+}
+
+// spawnSub activates the (k-1)-level identification at edge position node,
+// whose corner role within the cross-section is dirs.
+func (p *Protocol) spawnSub(w *walker, node grid.NodeID, dirs grid.DirSet) {
+	parent := w.s
+	free := make([]int, 0, len(parent.freeAxes)-1)
+	for _, a := range parent.freeAxes {
+		if a != w.axis {
+			free = append(free, a)
+		}
+	}
+	sub := &subRun{
+		r:          parent.r,
+		parent:     parent,
+		parentAxis: w.axis,
+		isFirst:    !w.spawned,
+		level:      parent.level - 1,
+		freeAxes:   free,
+		start:      node,
+		dirs:       dirs,
+	}
+	w.spawned = true
+	p.launch(sub)
+}
+
+func (p *Protocol) advanceRing(w *walker) int {
+	next := p.m.Neighbor(w.pos, w.dir)
+	if next == grid.InvalidNode || p.m.Status(next) != mesh.Enabled {
+		w.s.r.failed = true
+		return 0
+	}
+	w.pos = next
+	p.Hops++
+	// Corner test: a ring node that is no longer alongside the section (no
+	// bad neighbor toward the block) is a ring corner.
+	inwardNb := p.m.Neighbor(next, w.inward)
+	alongside := inwardNb != grid.InvalidNode && p.m.Status(inwardNb).Bad()
+	if alongside {
+		return 1
+	}
+	cd := p.m.Shape().CoordOf(next)
+	w.seen.Include(cd)
+	w.legs++
+	if w.legs < 2 {
+		// Turn: the new move direction is the old inward direction; the
+		// block is now behind the old travel direction.
+		w.dir, w.inward = w.inward, w.dir.Opposite()
+		return 1
+	}
+	// Second corner: the opposite 2-level corner. Assemble the section.
+	box, ok := w.ringResult()
+	if !ok {
+		w.s.r.failed = true
+		return 1
+	}
+	w.done = true
+	s := w.s
+	if s.ringBox == nil {
+		s.ringNode = next
+		s.ringBox = &box
+		return 1
+	}
+	if s.ringNode != next || !s.ringBox.Equal(box) {
+		s.r.failed = true // the two orientations disagree: unstable
+		return 1
+	}
+	p.completeSub(s, next, box)
+	return 1
+}
+
+// ringResult turns the extremes the walker has seen into the identified
+// section: the ring axes shrink by one on each side (from the shell to the
+// interior), all other axes stay pinned at the walker's fixed coordinates.
+func (w *walker) ringResult() (grid.Box, bool) {
+	lo := w.seen.Lo.Clone()
+	hi := w.seen.Hi.Clone()
+	for _, a := range w.s.freeAxes {
+		lo[a]++
+		hi[a]--
+		if lo[a] > hi[a] {
+			return grid.Box{}, false
+		}
+	}
+	return grid.Box{Lo: lo, Hi: hi}, true
+}
+
+func (p *Protocol) advanceCollect(w *walker) int {
+	s := w.s
+	if !w.folded {
+		box, ok := s.r.results[w.pos]
+		if !ok {
+			return 0 // the section here has not been identified yet: wait
+		}
+		if w.first == nil {
+			b := box.Clone()
+			w.first = &b
+			h := box.Clone()
+			w.hull = &h
+		} else {
+			// Consistency check of phase 3: every section must have the
+			// same extents on all axes other than the travel axis.
+			for l := range box.Lo {
+				if l == w.axis {
+					continue
+				}
+				if box.Lo[l] != w.first.Lo[l] || box.Hi[l] != w.first.Hi[l] {
+					s.r.failed = true
+					return 0
+				}
+			}
+			*w.hull = w.hull.Hull(box)
+		}
+		w.folded = true
+	}
+	next := p.m.Neighbor(w.pos, w.dir)
+	if next == grid.InvalidNode || p.m.Status(next) != mesh.Enabled {
+		s.r.failed = true
+		return 0
+	}
+	// The opposite edge's roles are the initiator-side roles with every
+	// direction reversed.
+	expectNode := flipAll(s.dirs.Remove(s.edgeDir[w.axis]))
+	expectCorner := flipAll(s.dirs)
+	switch {
+	case p.det.HasRecord(next, s.level-1, expectNode):
+		w.pos = next
+		w.folded = false
+		p.Hops++
+		return 1
+	case p.det.HasRecord(next, s.level, expectCorner):
+		// The opposite corner: deliver the assembled information.
+		w.pos = next
+		w.done = true
+		p.Hops++
+		p.deliver(s, w.axis, next, *w.hull)
+		return 1
+	default:
+		return 0
+	}
+}
+
+// deliver records a collector's hull at the opposite corner and completes
+// the sub when every travel axis has delivered consistently.
+func (p *Protocol) deliver(s *subRun, axis int, corner grid.NodeID, hull grid.Box) {
+	if s.deliverNode == grid.InvalidNode {
+		s.deliverNode = corner
+	} else if s.deliverNode != corner {
+		s.r.failed = true
+		return
+	}
+	if prev, dup := s.collected[axis]; dup && !prev.Equal(hull) {
+		s.r.failed = true
+		return
+	}
+	s.collected[axis] = hull
+	if len(s.collected) < len(s.travelAxes) {
+		return
+	}
+	var final *grid.Box
+	for _, a := range s.travelAxes {
+		b := s.collected[a]
+		if final == nil {
+			c := b.Clone()
+			final = &c
+		} else if !final.Equal(b) {
+			s.r.failed = true
+			return
+		}
+	}
+	p.completeSub(s, corner, *final)
+}
+
+// completeSub finishes a sub-identification: the identified box is now
+// available at the opposite corner node. A top-level completion finishes
+// the run; a nested completion publishes the result for the parent's
+// collector and, for the first position of an edge, triggers that
+// collector.
+func (p *Protocol) completeSub(s *subRun, node grid.NodeID, box grid.Box) {
+	if s.parent == nil {
+		s.r.done = true
+		if p.OnIdentified != nil {
+			p.OnIdentified(box, node)
+		}
+		return
+	}
+	s.r.results[node] = box
+	parent := s.parent
+	if s.isFirst && !parent.collectorUp[s.parentAxis] {
+		parent.collectorUp[s.parentAxis] = true
+		p.addWalker(&walker{
+			s:    parent,
+			kind: collectWalker,
+			pos:  node,
+			dir:  parent.edgeDir[s.parentAxis],
+			axis: s.parentAxis,
+		})
+	}
+}

@@ -1,0 +1,292 @@
+// Package mesh implements the k-ary n-D mesh fabric: per-node fault status
+// and the enabled/disabled/clean labeling state of Definitions 1 and 4.
+//
+// The mesh holds state only; the synchronous labeling rules (Algorithm 1)
+// live in internal/block, the information constructions in internal/ident
+// and internal/boundary, and the execution model in internal/engine.
+//
+// Per the paper, link faults are treated as node faults (Section 2.2), so
+// the fabric tracks node status only.
+package mesh
+
+import (
+	"fmt"
+
+	"ndmesh/internal/grid"
+)
+
+// Status is the label of a node under the extended labeling scheme of
+// Definition 4. After stabilization only Enabled, Disabled and Faulty
+// remain; Clean is the transient label of recovered nodes and of disabled
+// nodes released by a recovery.
+type Status uint8
+
+const (
+	// Enabled marks a non-faulty node that participates in routing.
+	Enabled Status = iota
+	// Disabled marks a non-faulty node inside a faulty block: it has (or
+	// had) two or more disabled/faulty neighbors along different dimensions.
+	Disabled
+	// Clean is the transient status of Definition 4: a node recovered from
+	// faulty status, or a disabled node adjacent to a clean node that is no
+	// longer forced disabled.
+	Clean
+	// Faulty marks a failed node.
+	Faulty
+)
+
+// String renders the status name.
+func (s Status) String() string {
+	switch s {
+	case Enabled:
+		return "enabled"
+	case Disabled:
+		return "disabled"
+	case Clean:
+		return "clean"
+	case Faulty:
+		return "faulty"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Bad reports whether the status counts toward Definition 1's rule 1
+// ("disabled or faulty neighbors").
+func (s Status) Bad() bool { return s == Disabled || s == Faulty }
+
+// Mesh is the fabric: shape plus per-node status, with a precomputed flat
+// neighbor table so hot loops never recompute coordinate arithmetic.
+type Mesh struct {
+	shape *grid.Shape
+	// status[id] is the current label of node id.
+	status []Status
+	// neighbors[id*2n+dir] is the neighbor of id in direction dir, or
+	// grid.InvalidNode when the hop leaves the mesh.
+	neighbors []grid.NodeID
+	// cleanAge[id] counts synchronous rounds a node has held Clean status;
+	// rule 4 fires only after neighbors have seen the clean status
+	// (cleanAge >= 1). Maintained by internal/block.
+	cleanAge []uint8
+	faulty   int
+	disabled int
+	clean    int
+	version  uint64
+}
+
+// New builds an all-enabled mesh of the given shape.
+func New(shape *grid.Shape) *Mesh {
+	n := shape.NumNodes()
+	nd := shape.NumDirs()
+	m := &Mesh{
+		shape:     shape,
+		status:    make([]Status, n),
+		neighbors: make([]grid.NodeID, n*nd),
+		cleanAge:  make([]uint8, n),
+	}
+	for id := 0; id < n; id++ {
+		for d := 0; d < nd; d++ {
+			m.neighbors[id*nd+d] = shape.Neighbor(grid.NodeID(id), grid.Dir(d))
+		}
+	}
+	return m
+}
+
+// NewUniform builds an all-enabled k-ary n-D mesh.
+func NewUniform(n, k int) (*Mesh, error) {
+	shape, err := grid.Uniform(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return New(shape), nil
+}
+
+// Shape returns the mesh geometry.
+func (m *Mesh) Shape() *grid.Shape { return m.shape }
+
+// NumNodes returns the node count.
+func (m *Mesh) NumNodes() int { return len(m.status) }
+
+// Status returns the current label of node id.
+func (m *Mesh) Status(id grid.NodeID) Status { return m.status[id] }
+
+// StatusAt returns the label of the node at coordinate c.
+func (m *Mesh) StatusAt(c grid.Coord) Status { return m.status[m.shape.Index(c)] }
+
+// Neighbor returns the neighbor of id in direction d (InvalidNode off-mesh).
+func (m *Mesh) Neighbor(id grid.NodeID, d grid.Dir) grid.NodeID {
+	return m.neighbors[int(id)*m.shape.NumDirs()+int(d)]
+}
+
+// EachNeighbor calls fn for every existing neighbor of id with its
+// direction.
+func (m *Mesh) EachNeighbor(id grid.NodeID, fn func(nb grid.NodeID, d grid.Dir)) {
+	base := int(id) * m.shape.NumDirs()
+	for d := 0; d < m.shape.NumDirs(); d++ {
+		if nb := m.neighbors[base+d]; nb != grid.InvalidNode {
+			fn(nb, grid.Dir(d))
+		}
+	}
+}
+
+// SetStatus relabels a node, maintaining the aggregate counters. It is the
+// single mutation point used by both the fault schedule and the labeling
+// protocol.
+func (m *Mesh) SetStatus(id grid.NodeID, s Status) {
+	old := m.status[id]
+	if old == s {
+		return
+	}
+	m.decr(old)
+	m.incr(s)
+	m.status[id] = s
+	m.version++
+	if s == Clean {
+		m.cleanAge[id] = 0
+	}
+}
+
+// Version increments on every status change; caches of derived global state
+// (e.g. the oracle router's distance field) key off it.
+func (m *Mesh) Version() uint64 { return m.version }
+
+func (m *Mesh) decr(s Status) {
+	switch s {
+	case Faulty:
+		m.faulty--
+	case Disabled:
+		m.disabled--
+	case Clean:
+		m.clean--
+	}
+}
+
+func (m *Mesh) incr(s Status) {
+	switch s {
+	case Faulty:
+		m.faulty++
+	case Disabled:
+		m.disabled++
+	case Clean:
+		m.clean++
+	}
+}
+
+// Fail marks a node faulty (a dynamic fault occurrence f_i).
+func (m *Mesh) Fail(id grid.NodeID) { m.SetStatus(id, Faulty) }
+
+// FailAt marks the node at coordinate c faulty.
+func (m *Mesh) FailAt(c grid.Coord) { m.Fail(m.shape.Index(c)) }
+
+// Recover applies rule 5 of Algorithm 1: a faulty node recovers and is
+// labeled clean. Recovering a non-faulty node is a no-op.
+func (m *Mesh) Recover(id grid.NodeID) {
+	if m.status[id] == Faulty {
+		m.SetStatus(id, Clean)
+	}
+}
+
+// RecoverAt recovers the node at coordinate c.
+func (m *Mesh) RecoverAt(c grid.Coord) { m.Recover(m.shape.Index(c)) }
+
+// CleanAge returns the number of stabilization rounds node id has been
+// Clean; meaningful only while Status(id) == Clean.
+func (m *Mesh) CleanAge(id grid.NodeID) int { return int(m.cleanAge[id]) }
+
+// BumpCleanAge increments the clean age (capped). Called once per labeling
+// round by internal/block.
+func (m *Mesh) BumpCleanAge(id grid.NodeID) {
+	if m.cleanAge[id] < 0xff {
+		m.cleanAge[id]++
+	}
+}
+
+// NumFaulty returns the count of faulty nodes (F at the current time).
+func (m *Mesh) NumFaulty() int { return m.faulty }
+
+// NumDisabled returns the count of disabled nodes.
+func (m *Mesh) NumDisabled() int { return m.disabled }
+
+// NumClean returns the count of clean (transient) nodes.
+func (m *Mesh) NumClean() int { return m.clean }
+
+// BadNeighborDims reports, for node id, whether it has disabled-or-faulty
+// neighbors along at least two different dimensions (the trigger of rule 1)
+// and whether it has faulty neighbors along at least two different
+// dimensions (the trigger of rules 2/3/4).
+func (m *Mesh) BadNeighborDims(id grid.NodeID) (badTwoDims, faultyTwoDims bool) {
+	nDims := m.shape.Dims()
+	base := int(id) * m.shape.NumDirs()
+	badAxis, faultyAxis := -1, -1
+	for axis := 0; axis < nDims; axis++ {
+		bad, flt := false, false
+		for side := 0; side < 2; side++ {
+			nb := m.neighbors[base+2*axis+side]
+			if nb == grid.InvalidNode {
+				continue
+			}
+			switch m.status[nb] {
+			case Faulty:
+				bad, flt = true, true
+			case Disabled:
+				bad = true
+			}
+		}
+		if bad {
+			if badAxis >= 0 && badAxis != axis {
+				badTwoDims = true
+			}
+			if badAxis < 0 {
+				badAxis = axis
+			}
+		}
+		if flt {
+			if faultyAxis >= 0 && faultyAxis != axis {
+				faultyTwoDims = true
+			}
+			if faultyAxis < 0 {
+				faultyAxis = axis
+			}
+		}
+		if badTwoDims && faultyTwoDims {
+			return
+		}
+	}
+	return
+}
+
+// HasCleanNeighbor reports whether some neighbor of id is Clean (rule 2).
+func (m *Mesh) HasCleanNeighbor(id grid.NodeID) bool {
+	base := int(id) * m.shape.NumDirs()
+	for d := 0; d < m.shape.NumDirs(); d++ {
+		if nb := m.neighbors[base+d]; nb != grid.InvalidNode && m.status[nb] == Clean {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns a copy of the status array, for tests that compare
+// protocol evolution against a reference.
+func (m *Mesh) Snapshot() []Status { return append([]Status(nil), m.status...) }
+
+// Restore resets statuses from a snapshot taken on the same mesh.
+func (m *Mesh) Restore(snap []Status) {
+	if len(snap) != len(m.status) {
+		panic("mesh: snapshot from a different mesh")
+	}
+	m.faulty, m.disabled, m.clean = 0, 0, 0
+	copy(m.status, snap)
+	for _, s := range m.status {
+		m.incr(s)
+	}
+}
+
+// Reset returns every node to Enabled.
+func (m *Mesh) Reset() {
+	for i := range m.status {
+		m.status[i] = Enabled
+		m.cleanAge[i] = 0
+	}
+	m.faulty, m.disabled, m.clean = 0, 0, 0
+}

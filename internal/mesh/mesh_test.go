@@ -1,0 +1,230 @@
+package mesh
+
+import (
+	"testing"
+
+	"ndmesh/internal/grid"
+)
+
+func TestStatusStringsAndBad(t *testing.T) {
+	cases := map[Status]string{
+		Enabled: "enabled", Disabled: "disabled", Clean: "clean", Faulty: "faulty",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Status(9).String() != "status(9)" {
+		t.Errorf("unknown status string = %q", Status(9).String())
+	}
+	if Enabled.Bad() || Clean.Bad() {
+		t.Error("enabled/clean must not be Bad")
+	}
+	if !Disabled.Bad() || !Faulty.Bad() {
+		t.Error("disabled/faulty must be Bad")
+	}
+}
+
+func TestNewMeshAllEnabled(t *testing.T) {
+	m, err := NewUniform(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 25 {
+		t.Fatalf("NumNodes = %d", m.NumNodes())
+	}
+	for id := 0; id < m.NumNodes(); id++ {
+		if m.Status(grid.NodeID(id)) != Enabled {
+			t.Fatalf("node %d not enabled initially", id)
+		}
+	}
+	if m.NumFaulty() != 0 || m.NumDisabled() != 0 || m.NumClean() != 0 {
+		t.Fatal("counters not zero initially")
+	}
+}
+
+func TestNeighborTableMatchesShape(t *testing.T) {
+	m, _ := NewUniform(3, 4)
+	shape := m.Shape()
+	for id := 0; id < m.NumNodes(); id++ {
+		for d := 0; d < shape.NumDirs(); d++ {
+			want := shape.Neighbor(grid.NodeID(id), grid.Dir(d))
+			if got := m.Neighbor(grid.NodeID(id), grid.Dir(d)); got != want {
+				t.Fatalf("Neighbor(%d,%v) = %d, want %d", id, grid.Dir(d), got, want)
+			}
+		}
+	}
+}
+
+func TestEachNeighborSkipsOffMesh(t *testing.T) {
+	m, _ := NewUniform(2, 3)
+	corner := m.Shape().Index(grid.Coord{0, 0})
+	count := 0
+	m.EachNeighbor(corner, func(nb grid.NodeID, d grid.Dir) {
+		count++
+		if nb == grid.InvalidNode {
+			t.Fatal("EachNeighbor yielded InvalidNode")
+		}
+	})
+	if count != 2 {
+		t.Fatalf("corner neighbor count = %d, want 2", count)
+	}
+}
+
+func TestStatusTransitionsAndCounters(t *testing.T) {
+	m, _ := NewUniform(2, 4)
+	id := m.Shape().Index(grid.Coord{1, 1})
+	m.Fail(id)
+	if m.Status(id) != Faulty || m.NumFaulty() != 1 {
+		t.Fatal("Fail did not apply")
+	}
+	v := m.Version()
+	m.Fail(id) // idempotent: no version bump
+	if m.Version() != v {
+		t.Fatal("redundant SetStatus bumped version")
+	}
+	m.Recover(id)
+	if m.Status(id) != Clean || m.NumClean() != 1 || m.NumFaulty() != 0 {
+		t.Fatal("Recover did not set clean")
+	}
+	// Recover on non-faulty node is a no-op.
+	other := m.Shape().Index(grid.Coord{0, 0})
+	m.Recover(other)
+	if m.Status(other) != Enabled {
+		t.Fatal("Recover changed an enabled node")
+	}
+	m.SetStatus(id, Disabled)
+	if m.NumDisabled() != 1 || m.NumClean() != 0 {
+		t.Fatal("counters wrong after disable")
+	}
+	m.SetStatus(id, Enabled)
+	if m.NumDisabled() != 0 {
+		t.Fatal("counters wrong after re-enable")
+	}
+}
+
+func TestFailAtRecoverAt(t *testing.T) {
+	m, _ := NewUniform(3, 4)
+	c := grid.Coord{1, 2, 3}
+	m.FailAt(c)
+	if m.StatusAt(c) != Faulty {
+		t.Fatal("FailAt missed")
+	}
+	m.RecoverAt(c)
+	if m.StatusAt(c) != Clean {
+		t.Fatal("RecoverAt missed")
+	}
+}
+
+func TestCleanAge(t *testing.T) {
+	m, _ := NewUniform(2, 4)
+	id := m.Shape().Index(grid.Coord{2, 2})
+	m.Fail(id)
+	m.Recover(id)
+	if m.CleanAge(id) != 0 {
+		t.Fatal("fresh clean node has nonzero age")
+	}
+	m.BumpCleanAge(id)
+	m.BumpCleanAge(id)
+	if m.CleanAge(id) != 2 {
+		t.Fatalf("CleanAge = %d", m.CleanAge(id))
+	}
+	// Re-entering clean resets the age.
+	m.SetStatus(id, Disabled)
+	m.SetStatus(id, Clean)
+	if m.CleanAge(id) != 0 {
+		t.Fatal("clean age not reset")
+	}
+}
+
+func TestBadNeighborDims(t *testing.T) {
+	m, _ := NewUniform(2, 8)
+	shape := m.Shape()
+	center := shape.Index(grid.Coord{4, 4})
+
+	// One faulty neighbor: neither condition.
+	m.FailAt(grid.Coord{5, 4})
+	bad2, faulty2 := m.BadNeighborDims(center)
+	if bad2 || faulty2 {
+		t.Fatal("single faulty neighbor must not trigger")
+	}
+	// Two faulty along the SAME axis: still neither (rule 1 needs
+	// different dimensions).
+	m.FailAt(grid.Coord{3, 4})
+	bad2, faulty2 = m.BadNeighborDims(center)
+	if bad2 || faulty2 {
+		t.Fatal("two faulty neighbors on one axis must not trigger")
+	}
+	// Add a faulty neighbor on the other axis: both trigger.
+	m.FailAt(grid.Coord{4, 5})
+	bad2, faulty2 = m.BadNeighborDims(center)
+	if !bad2 || !faulty2 {
+		t.Fatal("two faulty dims must trigger both conditions")
+	}
+
+	// Disabled counts toward bad but not faulty.
+	m2, _ := NewUniform(2, 8)
+	m2.FailAt(grid.Coord{5, 4})
+	m2.SetStatus(shape.Index(grid.Coord{4, 5}), Disabled)
+	bad2, faulty2 = m2.BadNeighborDims(center)
+	if !bad2 {
+		t.Fatal("faulty+disabled in different dims must set badTwoDims")
+	}
+	if faulty2 {
+		t.Fatal("disabled neighbor must not count as faulty")
+	}
+}
+
+func TestHasCleanNeighbor(t *testing.T) {
+	m, _ := NewUniform(2, 6)
+	shape := m.Shape()
+	id := shape.Index(grid.Coord{2, 2})
+	if m.HasCleanNeighbor(id) {
+		t.Fatal("no clean neighbors initially")
+	}
+	nb := shape.Index(grid.Coord{2, 3})
+	m.Fail(nb)
+	m.Recover(nb)
+	if !m.HasCleanNeighbor(id) {
+		t.Fatal("clean neighbor not seen")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m, _ := NewUniform(2, 5)
+	m.FailAt(grid.Coord{1, 1})
+	m.FailAt(grid.Coord{2, 2})
+	m.SetStatus(m.Shape().Index(grid.Coord{3, 3}), Disabled)
+	snap := m.Snapshot()
+	m.Reset()
+	if m.NumFaulty() != 0 || m.NumDisabled() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	m.Restore(snap)
+	if m.NumFaulty() != 2 || m.NumDisabled() != 1 {
+		t.Fatalf("Restore counters wrong: f=%d d=%d", m.NumFaulty(), m.NumDisabled())
+	}
+	if m.StatusAt(grid.Coord{1, 1}) != Faulty || m.StatusAt(grid.Coord{3, 3}) != Disabled {
+		t.Fatal("Restore statuses wrong")
+	}
+}
+
+func TestRestorePanicsOnWrongSize(t *testing.T) {
+	m, _ := NewUniform(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restore with wrong snapshot did not panic")
+		}
+	}()
+	m.Restore(make([]Status, 3))
+}
+
+func TestVersionBumps(t *testing.T) {
+	m, _ := NewUniform(2, 4)
+	v0 := m.Version()
+	m.FailAt(grid.Coord{1, 1})
+	if m.Version() == v0 {
+		t.Fatal("version not bumped on change")
+	}
+}

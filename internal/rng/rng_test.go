@@ -1,0 +1,218 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := New(12346)
+	same := 0
+	a.Reseed(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseed did not reset stream at %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child1 := parent.Split()
+	child2 := parent.Split()
+	// Children must differ from each other.
+	diff := false
+	for i := 0; i < 100; i++ {
+		if child1.Uint64() != child2.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("split children produced identical streams")
+	}
+	// Splitting is deterministic given the parent seed.
+	p2 := New(99)
+	c1 := p2.Split()
+	c1b := New(0)
+	*c1b = *c1
+	r := New(99).Split()
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != c1b.Uint64() {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(42)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %f", b, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 500; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange out of range: %d", v)
+		}
+	}
+	if r.IntRange(4, 4) != 4 {
+		t.Fatal("degenerate range wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted range did not panic")
+		}
+	}()
+	r.IntRange(2, 1)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %f, want ~0.5", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(8)
+	trues := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.25) {
+			trues++
+		}
+	}
+	got := float64(trues) / draws
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) rate = %f", got)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(11)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(r.Perm(0)) != 0 {
+		t.Fatal("Perm(0) not empty")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(13)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatalf("Shuffle lost elements: %v (orig %v)", xs, orig)
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	r := New(17)
+	var sum float64
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		g := r.Geometric(0.25)
+		if g < 1 {
+			t.Fatalf("Geometric < 1: %d", g)
+		}
+		sum += float64(g)
+	}
+	if mean := sum / draws; math.Abs(mean-4) > 0.2 {
+		t.Errorf("Geometric(0.25) mean = %f, want ~4", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+func TestIntnPropertyInRange(t *testing.T) {
+	r := New(23)
+	prop := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

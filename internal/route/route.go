@@ -1,0 +1,559 @@
+// Package route implements the paper's fault-information-based PCS routing
+// (Algorithm 3) and the three baselines it is evaluated against:
+//
+//   - Limited: Algorithm 3 — direction priority preferred, spare (along the
+//     block), preferred-but-detour, incoming; per-node used-direction lists
+//     carried in the header; backtracking at disabled nodes; information
+//     taken only from the node-local record store (the limited-global
+//     model).
+//   - Blind: the same PCS backtracking search with no fault information at
+//     all (only one-hop status sensing) — the "local information" extreme.
+//   - Oracle: global-information routing: every node knows all faulty
+//     blocks; the next hop follows a globally shortest path over enabled
+//     nodes, recomputed whenever the topology changes — the "traditional
+//     model" extreme (routing tables at every node).
+//   - DOR: plain dimension-order (e-cube) routing, the fault-intolerant
+//     baseline: it fails on the first bad node in its way.
+//
+// Routing messages advance one hop per step of the execution model; the
+// Decide/Apply split lets the engine interleave decisions with the λ
+// information rounds exactly as Figure 7 prescribes.
+package route
+
+import (
+	"fmt"
+
+	"ndmesh/internal/boundary"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/info"
+	"ndmesh/internal/mesh"
+)
+
+// Policy breaks ties among directions of equal priority.
+type Policy uint8
+
+const (
+	// LowestAxis deterministically prefers the smallest direction index.
+	LowestAxis Policy = iota
+	// LargestOffset prefers the axis with the largest remaining distance
+	// to the destination (the classic adaptive-routing heuristic).
+	LargestOffset
+)
+
+// Context is the information a router may consult: the fabric (one-hop
+// status sensing is always allowed), the node-local record store (nil for
+// the blind router), and the policy.
+type Context struct {
+	M      *mesh.Mesh
+	Store  *info.Store
+	Policy Policy
+}
+
+// Decision is the outcome of one routing decision.
+type Decision struct {
+	// Dir is the chosen outgoing direction (valid when Move).
+	Dir grid.Dir
+	// Move means forward one hop along Dir.
+	Move bool
+	// Backtrack means return to the previous node on the path.
+	Backtrack bool
+	// Fail means the destination is unreachable (message backtracked to
+	// the source with no unused outgoing direction).
+	Fail bool
+}
+
+// Router chooses an outgoing direction for a message at its current node.
+type Router interface {
+	// Name identifies the router in experiment tables.
+	Name() string
+	// Decide inspects the message's current node and header and picks an
+	// action. It must not mutate the message.
+	Decide(ctx *Context, msg *Message) Decision
+}
+
+// Message is a PCS path-setup message: destination plus the header state
+// Algorithm 3 requires — the path stack for backtracking and the list of
+// used directions for each forwarding node along the path.
+type Message struct {
+	Src, Dst grid.NodeID
+	Cur      grid.NodeID
+	// Incoming is the direction of the last move (InvalidDir at start).
+	Incoming grid.Dir
+
+	path []grid.NodeID
+	used map[grid.NodeID]grid.DirSet
+
+	// Hops counts every link traversal (forward and backward); Backtracks
+	// counts the backward ones. Steps counts decision steps including
+	// waits.
+	Hops, Backtracks, Steps int
+
+	// Arrived, Unreachable, Lost are the terminal states. Lost marks the
+	// pathological dynamic case where the backtrack target itself failed.
+	Arrived, Unreachable, Lost bool
+}
+
+// NewMessage builds a path-setup message from src to dst.
+func NewMessage(src, dst grid.NodeID) *Message {
+	return &Message{
+		Src:      src,
+		Dst:      dst,
+		Cur:      src,
+		Incoming: grid.InvalidDir,
+		used:     make(map[grid.NodeID]grid.DirSet),
+	}
+}
+
+// Done reports whether the message reached a terminal state.
+func (msg *Message) Done() bool { return msg.Arrived || msg.Unreachable || msg.Lost }
+
+// Used returns the used-direction set recorded at node id.
+func (msg *Message) Used(id grid.NodeID) grid.DirSet { return msg.used[id] }
+
+// PathLen returns the current path-stack length (hops from source along the
+// currently held path).
+func (msg *Message) PathLen() int { return len(msg.path) }
+
+// String summarizes the message state.
+func (msg *Message) String() string {
+	state := "active"
+	switch {
+	case msg.Arrived:
+		state = "arrived"
+	case msg.Unreachable:
+		state = "unreachable"
+	case msg.Lost:
+		state = "lost"
+	}
+	return fmt.Sprintf("msg %d->%d at %d (%s, hops=%d backtracks=%d steps=%d)",
+		msg.Src, msg.Dst, msg.Cur, state, msg.Hops, msg.Backtracks, msg.Steps)
+}
+
+// Advance performs one step of the routing process: one decision and one
+// hop (Figure 7's routing decision + message sending). It returns true if
+// the message is still in flight afterwards.
+func Advance(ctx *Context, r Router, msg *Message) bool {
+	if msg.Done() {
+		return false
+	}
+	msg.Steps++
+	if msg.Cur == msg.Dst {
+		msg.Arrived = true
+		return false
+	}
+	d := r.Decide(ctx, msg)
+	switch {
+	case d.Fail:
+		msg.Unreachable = true
+		return false
+	case d.Backtrack:
+		msg.applyBacktrack(ctx)
+	case d.Move:
+		msg.applyMove(ctx, d.Dir)
+	}
+	if msg.Cur == msg.Dst {
+		msg.Arrived = true
+		return false
+	}
+	return !msg.Done()
+}
+
+func (msg *Message) applyMove(ctx *Context, dir grid.Dir) {
+	next := ctx.M.Neighbor(msg.Cur, dir)
+	if next == grid.InvalidNode {
+		// A router must never pick an off-mesh direction; treat as lost to
+		// surface the bug in tests rather than panic in experiments.
+		msg.Lost = true
+		return
+	}
+	msg.used[msg.Cur] = msg.used[msg.Cur].Add(dir)
+	msg.path = append(msg.path, msg.Cur)
+	msg.Cur = next
+	msg.Incoming = dir
+	msg.Hops++
+}
+
+func (msg *Message) applyBacktrack(ctx *Context) {
+	if len(msg.path) == 0 {
+		msg.Unreachable = true
+		return
+	}
+	prev := msg.path[len(msg.path)-1]
+	msg.path = msg.path[:len(msg.path)-1]
+	if ctx.M.Status(prev) == mesh.Faulty {
+		// The node we set this path segment through has failed under us:
+		// the partial path is torn down and the message is lost (the PCS
+		// source would time out and retry; we account it separately).
+		msg.Lost = true
+		return
+	}
+	// The physical move back: the new incoming direction is the reverse of
+	// the link we cross.
+	msg.Incoming = dirBetween(ctx.M, msg.Cur, prev)
+	msg.Cur = prev
+	msg.Hops++
+	msg.Backtracks++
+}
+
+// dirBetween returns the direction of the single hop from a to b.
+func dirBetween(m *mesh.Mesh, a, b grid.NodeID) grid.Dir {
+	for d := 0; d < m.Shape().NumDirs(); d++ {
+		if m.Neighbor(a, grid.Dir(d)) == b {
+			return grid.Dir(d)
+		}
+	}
+	return grid.InvalidDir
+}
+
+// ---------------------------------------------------------------------------
+// Limited: Algorithm 3 with the limited-global information model.
+
+// Limited is the fault-information-based PCS router of Algorithm 3.
+type Limited struct{}
+
+// Name implements Router.
+func (Limited) Name() string { return "limited" }
+
+// Decide implements Algorithm 3:
+//  1. If the current node is disabled (or faulty under us), backtrack.
+//  2. Pick the unused outgoing direction with the highest priority:
+//     preferred, spare (along the block), preferred-but-detour, incoming.
+//  3. With no unused outgoing direction, backtrack.
+//  4. Backtracked to the source with nothing left: unreachable.
+func (Limited) Decide(ctx *Context, msg *Message) Decision {
+	m := ctx.M
+	u := msg.Cur
+	if m.Status(u).Bad() {
+		return backtrackOrFail(msg)
+	}
+	shape := m.Shape()
+	uc := shape.CoordOf(u)
+	dc := shape.CoordOf(msg.Dst)
+	used := msg.used[u]
+	recs := recordsAt(ctx, u)
+
+	var preferred, demoted, spares []grid.Dir
+	for dv := 0; dv < shape.NumDirs(); dv++ {
+		dir := grid.Dir(dv)
+		if used.Has(dir) {
+			continue
+		}
+		next := m.Neighbor(u, dir)
+		if next == grid.InvalidNode || m.Status(next) != mesh.Enabled {
+			continue
+		}
+		wc := shape.CoordOf(next)
+		if isPreferred(uc, dc, dir) {
+			if demotedByRecords(recs, wc, dc) {
+				demoted = append(demoted, dir)
+			} else {
+				preferred = append(preferred, dir)
+			}
+			continue
+		}
+		if msg.Incoming != grid.InvalidDir && dir == msg.Incoming.Opposite() {
+			continue // going back is the lowest priority: the backtrack case
+		}
+		spares = append(spares, dir)
+	}
+
+	if len(preferred) > 0 {
+		return Decision{Move: true, Dir: pickPreferred(ctx, preferred, uc, dc)}
+	}
+	if len(spares) > 0 {
+		return Decision{Move: true, Dir: pickSpare(ctx, spares, recs, uc)}
+	}
+	if len(demoted) > 0 {
+		return Decision{Move: true, Dir: pickPreferred(ctx, demoted, uc, dc)}
+	}
+	return backtrackOrFail(msg)
+}
+
+func backtrackOrFail(msg *Message) Decision {
+	if msg.PathLen() == 0 {
+		return Decision{Fail: true}
+	}
+	return Decision{Backtrack: true}
+}
+
+// recordsAt returns the block records stored at node u (nil without store).
+func recordsAt(ctx *Context, u grid.NodeID) []info.Record {
+	if ctx.Store == nil {
+		return nil
+	}
+	return ctx.Store.At(u)
+}
+
+// isPreferred reports whether dir reduces the Manhattan distance to dc.
+func isPreferred(uc, dc grid.Coord, dir grid.Dir) bool {
+	a := dir.Axis()
+	if dir.Positive() {
+		return uc[a] < dc[a]
+	}
+	return uc[a] > dc[a]
+}
+
+// demotedByRecords applies the critical-routing rule: a preferred step onto
+// w is demoted to preferred-but-detour when, per some stored block record,
+// w lies in the block's dangerous shadow while the destination is trapped
+// beyond the opposite surface (Section 2.2).
+func demotedByRecords(recs []info.Record, wc, dc grid.Coord) bool {
+	for _, r := range recs {
+		if axis, neg, ok := boundary.InShadow(r.Box, wc); ok && boundary.Trapped(r.Box, dc, axis, neg) {
+			return true
+		}
+	}
+	return false
+}
+
+// pickPreferred selects among preferred directions by policy.
+func pickPreferred(ctx *Context, dirs []grid.Dir, uc, dc grid.Coord) grid.Dir {
+	if ctx.Policy == LargestOffset {
+		best := dirs[0]
+		bestOff := -1
+		for _, d := range dirs {
+			off := abs(dc[d.Axis()] - uc[d.Axis()])
+			if off > bestOff {
+				best, bestOff = d, off
+			}
+		}
+		return best
+	}
+	return lowest(dirs)
+}
+
+// pickSpare selects a spare direction "along with the block": among the
+// axes where the current node sits inside a recorded block's span, prefer
+// the direction with the shortest run to exit the span (the fastest way
+// around the block); axes outside any span rank last and fall back to the
+// policy order.
+func pickSpare(ctx *Context, dirs []grid.Dir, recs []info.Record, uc grid.Coord) grid.Dir {
+	const inf = int(^uint(0) >> 1)
+	best := dirs[0]
+	bestRank := inf
+	for _, d := range dirs {
+		rank := inf
+		a := d.Axis()
+		for _, r := range recs {
+			if !r.Box.ContainsOn(a, uc[a]) {
+				continue
+			}
+			var run int
+			if d.Positive() {
+				run = r.Box.Hi[a] + 1 - uc[a]
+			} else {
+				run = uc[a] - (r.Box.Lo[a] - 1)
+			}
+			if run < rank {
+				rank = run
+			}
+		}
+		if rank < bestRank || (rank == bestRank && d < best) {
+			best, bestRank = d, rank
+		}
+	}
+	if bestRank < inf {
+		return best
+	}
+	return lowest(dirs)
+}
+
+func lowest(dirs []grid.Dir) grid.Dir {
+	best := dirs[0]
+	for _, d := range dirs[1:] {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ---------------------------------------------------------------------------
+// Blind: PCS backtracking with no fault information.
+
+// Blind is Algorithm 3 stripped of the information model: only one-hop
+// status sensing guides it, so it walks into dangerous areas and pays for
+// them with backtracking.
+type Blind struct{}
+
+// Name implements Router.
+func (Blind) Name() string { return "blind" }
+
+// Decide implements Router.
+func (Blind) Decide(ctx *Context, msg *Message) Decision {
+	m := ctx.M
+	u := msg.Cur
+	if m.Status(u).Bad() {
+		return backtrackOrFail(msg)
+	}
+	shape := m.Shape()
+	uc := shape.CoordOf(u)
+	dc := shape.CoordOf(msg.Dst)
+	used := msg.used[u]
+	var preferred, spares []grid.Dir
+	for dv := 0; dv < shape.NumDirs(); dv++ {
+		dir := grid.Dir(dv)
+		if used.Has(dir) {
+			continue
+		}
+		next := m.Neighbor(u, dir)
+		if next == grid.InvalidNode || m.Status(next) != mesh.Enabled {
+			continue
+		}
+		if isPreferred(uc, dc, dir) {
+			preferred = append(preferred, dir)
+			continue
+		}
+		if msg.Incoming != grid.InvalidDir && dir == msg.Incoming.Opposite() {
+			continue
+		}
+		spares = append(spares, dir)
+	}
+	if len(preferred) > 0 {
+		return Decision{Move: true, Dir: pickPreferred(ctx, preferred, uc, dc)}
+	}
+	if len(spares) > 0 {
+		return Decision{Move: true, Dir: lowest(spares)}
+	}
+	return backtrackOrFail(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: global information.
+
+// Oracle is the traditional global-information model: it always knows the
+// exact enabled topology and follows a globally shortest path, recomputing
+// the distance field whenever the mesh changes. Its information cost is
+// charged as a full-network update per change (see the experiment harness).
+type Oracle struct {
+	dst     grid.NodeID
+	version uint64
+	valid   bool
+	dist    []int32
+	queue   []grid.NodeID
+}
+
+// Name implements Router.
+func (o *Oracle) Name() string { return "oracle" }
+
+// unreachableDist marks nodes with no enabled path to the destination.
+const unreachableDist = int32(-1)
+
+// Decide implements Router: step to any neighbor strictly closer to the
+// destination in the current enabled-subgraph metric.
+func (o *Oracle) Decide(ctx *Context, msg *Message) Decision {
+	m := ctx.M
+	if m.Status(msg.Cur).Bad() {
+		return backtrackOrFail(msg)
+	}
+	o.refresh(m, msg.Dst)
+	du := o.dist[msg.Cur]
+	if du == unreachableDist {
+		return Decision{Fail: true}
+	}
+	bestDir := grid.InvalidDir
+	var bestDist int32 = du
+	for dv := 0; dv < m.Shape().NumDirs(); dv++ {
+		dir := grid.Dir(dv)
+		nb := m.Neighbor(msg.Cur, dir)
+		if nb == grid.InvalidNode || m.Status(nb) != mesh.Enabled {
+			continue
+		}
+		if dn := o.dist[nb]; dn != unreachableDist && dn < bestDist {
+			bestDist, bestDir = dn, dir
+		}
+	}
+	if bestDir == grid.InvalidDir {
+		return Decision{Fail: true}
+	}
+	return Decision{Move: true, Dir: bestDir}
+}
+
+// refresh rebuilds the BFS distance field from dst if the topology or the
+// destination changed.
+func (o *Oracle) refresh(m *mesh.Mesh, dst grid.NodeID) {
+	if o.valid && o.version == m.Version() && o.dst == dst {
+		return
+	}
+	n := m.NumNodes()
+	if len(o.dist) != n {
+		o.dist = make([]int32, n)
+	}
+	for i := range o.dist {
+		o.dist[i] = unreachableDist
+	}
+	o.queue = o.queue[:0]
+	if m.Status(dst) == mesh.Enabled {
+		o.dist[dst] = 0
+		o.queue = append(o.queue, dst)
+	}
+	for head := 0; head < len(o.queue); head++ {
+		cur := o.queue[head]
+		m.EachNeighbor(cur, func(nb grid.NodeID, _ grid.Dir) {
+			if o.dist[nb] == unreachableDist && m.Status(nb) == mesh.Enabled {
+				o.dist[nb] = o.dist[cur] + 1
+				o.queue = append(o.queue, nb)
+			}
+		})
+	}
+	o.version, o.dst, o.valid = m.Version(), dst, true
+}
+
+// ---------------------------------------------------------------------------
+// DOR: dimension-order routing (fault-intolerant baseline).
+
+// DOR resolves offsets axis by axis; it declares failure as soon as the
+// next hop is not enabled. It quantifies what fault tolerance buys.
+type DOR struct{}
+
+// Name implements Router.
+func (DOR) Name() string { return "dor" }
+
+// Decide implements Router.
+func (DOR) Decide(ctx *Context, msg *Message) Decision {
+	m := ctx.M
+	if m.Status(msg.Cur).Bad() {
+		return Decision{Fail: true}
+	}
+	shape := m.Shape()
+	uc := shape.CoordOf(msg.Cur)
+	dc := shape.CoordOf(msg.Dst)
+	for a := 0; a < shape.Dims(); a++ {
+		if uc[a] == dc[a] {
+			continue
+		}
+		dir := grid.DirPlus(a)
+		if uc[a] > dc[a] {
+			dir = grid.DirMinus(a)
+		}
+		next := m.Neighbor(msg.Cur, dir)
+		if next == grid.InvalidNode || m.Status(next) != mesh.Enabled {
+			return Decision{Fail: true}
+		}
+		return Decision{Move: true, Dir: dir}
+	}
+	return Decision{Fail: true} // already at destination: Advance handles it
+}
+
+// ByName returns a fresh router by experiment name.
+func ByName(name string) (Router, error) {
+	switch name {
+	case "limited":
+		return Limited{}, nil
+	case "blind":
+		return Blind{}, nil
+	case "oracle":
+		return &Oracle{}, nil
+	case "dor":
+		return DOR{}, nil
+	default:
+		return nil, fmt.Errorf("route: unknown router %q", name)
+	}
+}

@@ -1,0 +1,307 @@
+// Package stats provides the measurement plumbing for the experiment
+// harness: streaming summaries (Welford), histograms, counters, and an
+// aligned plain-text table writer used by cmd/sweep and the benchmarks to
+// print the paper-style result rows.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a stream of float64 observations with O(1) memory
+// using Welford's algorithm, tracking count, mean, variance, min and max.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddInt records one integer observation.
+func (s *Summary) AddInt(x int) { s.Add(float64(x)) }
+
+// Merge folds another summary into s (parallel reduction).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.mean += delta * float64(o.n) / float64(n)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the running mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders "mean ± std [min,max] (n)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f [%.0f,%.0f] (n=%d)", s.Mean(), s.Std(), s.Min(), s.Max(), s.n)
+}
+
+// Histogram is a fixed-width integer histogram with overflow bucket,
+// used for detour and convergence-round distributions.
+type Histogram struct {
+	width    int
+	buckets  []int64
+	overflow int64
+	total    int64
+	sum      int64
+}
+
+// NewHistogram builds a histogram with nbuckets buckets of the given width;
+// observation v lands in bucket v/width, values beyond the last bucket in
+// the overflow bucket. Negative observations clamp to bucket 0.
+func NewHistogram(width, nbuckets int) *Histogram {
+	if width < 1 {
+		width = 1
+	}
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	return &Histogram{width: width, buckets: make([]int64, nbuckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	h.total++
+	h.sum += int64(v)
+	if v < 0 {
+		v = 0
+	}
+	b := v / h.width
+	if b >= len(h.buckets) {
+		h.overflow++
+		return
+	}
+	h.buckets[b]++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the mean of observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns an approximate q-quantile (bucket upper edge); q in [0,1].
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return (i + 1) * h.width
+		}
+	}
+	return len(h.buckets) * h.width
+}
+
+// Bucket returns the count of bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Overflow returns the overflow count.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Percentiles computes exact percentiles from a full sample slice. Used
+// where the sample set is small enough to keep (per-trial metrics).
+func Percentiles(samples []int, ps ...float64) []int {
+	out := make([]int, len(ps))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := append([]int(nil), samples...)
+	sort.Ints(sorted)
+	for i, p := range ps {
+		idx := int(p * float64(len(sorted)-1))
+		out[i] = sorted[idx]
+	}
+	return out
+}
+
+// Table accumulates rows of string cells and writes them with aligned
+// columns; the harness uses it to print paper-style result tables.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	colWide []int
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title, header: header, colWide: make([]int, len(header))}
+	for i, h := range header {
+		t.colWide[i] = len(h)
+	}
+	return t
+}
+
+// AddRow appends a row; cells render with %v. Extra cells beyond the header
+// width extend the table.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+		for len(t.colWide) <= i {
+			t.colWide = append(t.colWide, 0)
+		}
+		if len(row[i]) > t.colWide[i] {
+			t.colWide[i] = len(row[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteTo renders the table. It always returns a nil error from the
+// underlying fmt calls being ignored deliberately; the io.WriterTo signature
+// keeps it composable.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(s string) error {
+		n, err := io.WriteString(w, s)
+		total += int64(n)
+		return err
+	}
+	if t.Title != "" {
+		if err := emit("== " + t.Title + " ==\n"); err != nil {
+			return total, err
+		}
+	}
+	if err := emit(t.formatRow(t.header) + "\n"); err != nil {
+		return total, err
+	}
+	if err := emit(t.rule() + "\n"); err != nil {
+		return total, err
+	}
+	for _, r := range t.rows {
+		if err := emit(t.formatRow(r) + "\n"); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the whole table.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+func (t *Table) formatRow(cells []string) string {
+	var b strings.Builder
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(c)
+		if pad := t.colWide[i] - len(c); pad > 0 && i < len(cells)-1 {
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+	}
+	return b.String()
+}
+
+func (t *Table) rule() string {
+	var b strings.Builder
+	for i, w := range t.colWide {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header first).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

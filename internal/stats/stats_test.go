@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %f", s.Mean())
+	}
+	// Sample std of this classic dataset: population std is 2, sample
+	// variance = 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Var = %f", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummaryAddInt(t *testing.T) {
+	var s Summary
+	s.AddInt(3)
+	s.AddInt(5)
+	if s.Mean() != 4 {
+		t.Fatalf("Mean = %f", s.Mean())
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		var whole, left, right Summary
+		for i, b := range raw {
+			v := float64(b)
+			whole.Add(v)
+			if i%2 == 0 {
+				left.Add(v)
+			} else {
+				right.Add(v)
+			}
+		}
+		left.Merge(right)
+		if whole.N() != left.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return math.Abs(whole.Mean()-left.Mean()) < 1e-9 &&
+			math.Abs(whole.Var()-left.Var()) < 1e-6 &&
+			whole.Min() == left.Min() && whole.Max() == left.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(5)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatal("merge with empty changed summary")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 5 {
+		t.Fatal("merge into empty wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5, 4) // buckets [0,5) [5,10) [10,15) [15,20), overflow beyond
+	for _, v := range []int{0, 3, 7, 12, 19, 25, -2} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Bucket(0) != 3 { // 0, 3, -2 (clamped)
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 || h.Bucket(2) != 1 || h.Bucket(3) != 1 {
+		t.Fatalf("buckets = %d %d %d", h.Bucket(1), h.Bucket(2), h.Bucket(3))
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	if math.Abs(h.Mean()-64.0/7.0) > 1e-9 {
+		t.Fatalf("Mean = %f", h.Mean())
+	}
+	if q := h.Quantile(0.5); q < 5 || q > 15 {
+		t.Fatalf("median quantile = %d", q)
+	}
+}
+
+func TestHistogramDefensiveConstruction(t *testing.T) {
+	h := NewHistogram(0, 0)
+	h.Add(3)
+	if h.Total() != 1 {
+		t.Fatal("degenerate histogram broken")
+	}
+	if NewHistogram(1, 1).Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	samples := []int{9, 1, 5, 3, 7}
+	ps := Percentiles(samples, 0, 0.5, 1.0)
+	if ps[0] != 1 || ps[1] != 5 || ps[2] != 9 {
+		t.Fatalf("percentiles = %v", ps)
+	}
+	if got := Percentiles(nil, 0.5); got[0] != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Input must not be mutated.
+	if samples[0] != 9 {
+		t.Fatal("Percentiles sorted the input in place")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", 1)
+	tab.AddRow("b", 2.5)
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Errorf("missing cells: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d: %q", len(lines), out)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") || !strings.Contains(csv, "alpha,1\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("", "a", "bb")
+	tab.AddRow("xxxxxx", "y")
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and row should align on the second column.
+	if len(lines) < 3 {
+		t.Fatalf("missing lines: %q", out)
+	}
+	hdr, row := lines[0], lines[2]
+	if idxOf(hdr, "bb") != idxOf(row, "y") {
+		t.Errorf("columns misaligned:\n%q\n%q", hdr, row)
+	}
+}
+
+func idxOf(s, sub string) int { return strings.Index(s, sub) }

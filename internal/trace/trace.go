@@ -1,0 +1,78 @@
+// Package trace provides a cheap ring-buffer event tracer for debugging the
+// protocol rounds: labeling transitions, identification walker moves,
+// boundary deposits, routing decisions. Tracing is off by default and costs
+// a single branch when disabled, so hot loops can trace unconditionally.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	Round int
+	Kind  string
+	Text  string
+}
+
+// Tracer collects events into a fixed-size ring.
+type Tracer struct {
+	enabled bool
+	ring    []Event
+	next    int
+	total   int
+}
+
+// New builds a tracer with the given capacity; capacity <= 0 disables it.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		return &Tracer{}
+	}
+	return &Tracer{enabled: true, ring: make([]Event, 0, capacity)}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled }
+
+// Emit records an event; fmt.Sprintf formatting is only paid when enabled.
+func (t *Tracer) Emit(round int, kind, format string, args ...any) {
+	if !t.Enabled() {
+		return
+	}
+	ev := Event{Round: round, Kind: kind, Text: fmt.Sprintf(format, args...)}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+}
+
+// Total returns the number of events emitted (including overwritten ones).
+func (t *Tracer) Total() int { return t.total }
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if !t.Enabled() {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (t *Tracer) Dump() string {
+	var b strings.Builder
+	for _, ev := range t.Events() {
+		fmt.Fprintf(&b, "[%5d] %-10s %s\n", ev.Round, ev.Kind, ev.Text)
+	}
+	return b.String()
+}

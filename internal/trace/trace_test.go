@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisabledTracer(t *testing.T) {
+	tr := New(0)
+	if tr.Enabled() {
+		t.Fatal("capacity 0 should disable")
+	}
+	tr.Emit(1, "x", "costly %d", 42)
+	if tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("disabled tracer recorded")
+	}
+	var nilTr *Tracer
+	if nilTr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	nilTr.Emit(1, "x", "ok") // must not panic
+}
+
+func TestEmitAndDump(t *testing.T) {
+	tr := New(8)
+	tr.Emit(1, "label", "node %d", 7)
+	tr.Emit(2, "route", "hop")
+	if tr.Total() != 2 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Round != 1 || evs[1].Kind != "route" {
+		t.Fatalf("events = %+v", evs)
+	}
+	dump := tr.Dump()
+	if !strings.Contains(dump, "node 7") || !strings.Contains(dump, "route") {
+		t.Fatalf("dump = %q", dump)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 7; i++ {
+		tr.Emit(i, "k", "e%d", i)
+	}
+	if tr.Total() != 7 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	// Oldest retained is e4, newest e6, in order.
+	if evs[0].Text != "e4" || evs[2].Text != "e6" {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+}

@@ -1,0 +1,99 @@
+// Package viz renders ASCII pictures of 2-D meshes and 2-D slices of n-D
+// meshes: node statuses, stored fault information, block frames, boundary
+// walls, and routing paths. The visualizer backs cmd/faultviz and the
+// examples; it is also handy when debugging protocol tests.
+package viz
+
+import (
+	"strings"
+
+	"ndmesh/internal/grid"
+	"ndmesh/internal/info"
+	"ndmesh/internal/mesh"
+)
+
+// Glyphs used by Render, in increasing precedence.
+const (
+	GlyphEnabled  = '.'
+	GlyphInfo     = 'o' // enabled node holding at least one block record
+	GlyphDisabled = '#'
+	GlyphClean    = 'c'
+	GlyphFaulty   = 'X'
+	GlyphPath     = '*'
+	GlyphSource   = 'S'
+	GlyphDest     = 'D'
+)
+
+// Options selects what to draw.
+type Options struct {
+	// AxisX and AxisY choose the two rendered axes (default 0 and 1).
+	AxisX, AxisY int
+	// Fixed pins the remaining axes (defaults to 0s); its length must be
+	// the mesh dimensionality (the AxisX/AxisY entries are ignored).
+	Fixed grid.Coord
+	// Store, when non-nil, marks enabled nodes holding records with 'o'.
+	Store *info.Store
+	// Path, Source, Dest draw a route.
+	Path         []grid.NodeID
+	Source, Dest grid.NodeID
+}
+
+// Render draws the selected slice, one text row per Y coordinate, highest Y
+// first (so +Y points up, matching the paper's figures).
+func Render(m *mesh.Mesh, opt Options) string {
+	shape := m.Shape()
+	n := shape.Dims()
+	ax, ay := opt.AxisX, opt.AxisY
+	if ax == ay {
+		ax, ay = 0, min(1, n-1)
+	}
+	fixed := opt.Fixed
+	if len(fixed) != n {
+		fixed = make(grid.Coord, n)
+	}
+	pathSet := make(map[grid.NodeID]struct{}, len(opt.Path))
+	for _, id := range opt.Path {
+		pathSet[id] = struct{}{}
+	}
+
+	var b strings.Builder
+	c := fixed.Clone()
+	for y := shape.Radix(ay) - 1; y >= 0; y-- {
+		for x := 0; x < shape.Radix(ax); x++ {
+			c[ax], c[ay] = x, y
+			id := shape.Index(c)
+			b.WriteByte(byte(glyph(m, opt, pathSet, id)))
+			if x < shape.Radix(ax)-1 {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func glyph(m *mesh.Mesh, opt Options, pathSet map[grid.NodeID]struct{}, id grid.NodeID) rune {
+	if len(opt.Path) > 0 || opt.Source != opt.Dest {
+		switch id {
+		case opt.Source:
+			return GlyphSource
+		case opt.Dest:
+			return GlyphDest
+		}
+	}
+	if _, onPath := pathSet[id]; onPath {
+		return GlyphPath
+	}
+	switch m.Status(id) {
+	case mesh.Faulty:
+		return GlyphFaulty
+	case mesh.Disabled:
+		return GlyphDisabled
+	case mesh.Clean:
+		return GlyphClean
+	}
+	if opt.Store != nil && len(opt.Store.At(id)) > 0 {
+		return GlyphInfo
+	}
+	return GlyphEnabled
+}

@@ -1,0 +1,84 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ndmesh/internal/block"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/info"
+	"ndmesh/internal/mesh"
+)
+
+func TestRenderStatuses(t *testing.T) {
+	m, _ := mesh.NewUniform(2, 5)
+	m.FailAt(grid.Coord{2, 2})
+	m.SetStatus(m.Shape().Index(grid.Coord{1, 2}), mesh.Disabled)
+	m.SetStatus(m.Shape().Index(grid.Coord{3, 2}), mesh.Clean)
+	out := Render(m, Options{Source: grid.InvalidNode, Dest: grid.InvalidNode})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	// +Y up: row y=2 is the middle line (index 2).
+	mid := strings.Fields(lines[2])
+	if mid[2] != "X" || mid[1] != "#" || mid[3] != "c" || mid[0] != "." {
+		t.Fatalf("middle row = %v", mid)
+	}
+}
+
+func TestRenderInfoGlyph(t *testing.T) {
+	m, _ := mesh.NewUniform(2, 5)
+	store := info.NewStore(m.NumNodes())
+	store.Add(m.Shape().Index(grid.Coord{1, 1}), info.Record{Box: grid.BoxAt(grid.Coord{3, 3})})
+	out := Render(m, Options{Store: store, Source: grid.InvalidNode, Dest: grid.InvalidNode})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	row := strings.Fields(lines[3]) // y=1
+	if row[1] != "o" {
+		t.Fatalf("info node glyph = %q", row[1])
+	}
+}
+
+func TestRenderPathAndEndpoints(t *testing.T) {
+	m, _ := mesh.NewUniform(2, 5)
+	shape := m.Shape()
+	src := shape.Index(grid.Coord{0, 0})
+	dst := shape.Index(grid.Coord{2, 0})
+	mid := shape.Index(grid.Coord{1, 0})
+	out := Render(m, Options{Source: src, Dest: dst, Path: []grid.NodeID{mid}})
+	bottom := strings.Fields(strings.Split(strings.TrimSpace(out), "\n")[4])
+	if bottom[0] != "S" || bottom[1] != "*" || bottom[2] != "D" {
+		t.Fatalf("bottom row = %v", bottom)
+	}
+}
+
+func TestRender3DSlice(t *testing.T) {
+	m, _ := mesh.NewUniform(3, 6)
+	for _, c := range []grid.Coord{{2, 2, 3}, {3, 3, 3}} {
+		m.FailAt(c)
+	}
+	block.StabilizeFull(m)
+	// Slice z=3 shows the faults; slice z=0 does not.
+	at3 := Render(m, Options{Fixed: grid.Coord{0, 0, 3}, Source: grid.InvalidNode, Dest: grid.InvalidNode})
+	at0 := Render(m, Options{Fixed: grid.Coord{0, 0, 0}, Source: grid.InvalidNode, Dest: grid.InvalidNode})
+	if !strings.Contains(at3, "X") {
+		t.Fatalf("slice z=3 missing faults:\n%s", at3)
+	}
+	if strings.Contains(at0, "X") {
+		t.Fatalf("slice z=0 shows faults:\n%s", at0)
+	}
+}
+
+func TestRenderAxisSelection(t *testing.T) {
+	m, _ := mesh.NewUniform(3, 4)
+	m.FailAt(grid.Coord{1, 0, 2})
+	// Render the X-Z plane at y=0: the fault appears at (x=1, z=2).
+	out := Render(m, Options{AxisX: 0, AxisY: 2, Fixed: grid.Coord{0, 0, 0},
+		Source: grid.InvalidNode, Dest: grid.InvalidNode})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// z=2 is line index 1 (z=3 first).
+	row := strings.Fields(lines[1])
+	if row[1] != "X" {
+		t.Fatalf("fault not in X-Z slice:\n%s", out)
+	}
+}
