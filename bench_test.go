@@ -7,6 +7,8 @@ package ndmesh
 // throughput of the implementation.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"ndmesh/internal/block"
@@ -335,8 +337,10 @@ func BenchmarkOscillationSweep(b *testing.B) {
 	b.ReportMetric(affected, "affected_per_event")
 }
 
-// BenchmarkRouterStep times one routing decision of each router on a mesh
-// with blocks and full information in place (the per-hop cost).
+// BenchmarkRouterStep times a full routing run of each router on a mesh
+// with blocks and full information in place (the per-hop cost). Flights are
+// recycled through the engine's free list between iterations, so the loop
+// measures routing, not setup churn.
 func BenchmarkRouterStep(b *testing.B) {
 	for _, name := range []string{"limited", "blind", "oracle", "dor"} {
 		b.Run(name, func(b *testing.B) {
@@ -346,15 +350,77 @@ func BenchmarkRouterStep(b *testing.B) {
 			sim.Stabilize()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				simCopy := sim // decisions do not mutate the fabric
-				b.StartTimer()
-				res, err := simCopy.Route(C(1, 1), C(14, 14), name)
+				sim.eng().ClearFlights()
+				res, err := sim.Route(C(1, 1), C(14, 14), name)
 				if err != nil {
 					b.Fatal(err)
 				}
 				if !res.Arrived && name != "dor" {
 					b.Fatalf("%s did not arrive: %+v", name, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrialRestart compares the two ways to get a fault-free
+// simulation for the next trial: a fresh NewSimulation against
+// Simulation.Reset of a used one. The ratio is the per-trial saving the
+// sweeps collect via the worker-local simPool.
+func BenchmarkTrialRestart(b *testing.B) {
+	cfg := Config{Dims: []int{16, 16}, Lambda: 2}
+	dirty := func(sim *Simulation) {
+		sim.FailNow(C(7, 7))
+		sim.FailNow(C(8, 8))
+		sim.Stabilize()
+	}
+	b.Run("new", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := MustSimulation(cfg)
+			dirty(sim)
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		sim := MustSimulation(cfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Reset()
+			dirty(sim)
+		}
+	})
+}
+
+// BenchmarkTheoremSweepWorkers runs the theorem sweep at one worker and at
+// NumCPU workers; on a multicore machine the ratio shows the parallel
+// engine's speedup, with byte-identical results (asserted by the tests).
+func BenchmarkTheoremSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := TheoremSweepWorkers([]int{16, 16}, 16, uint64(i+1), w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v := rep.Violations3 + rep.Violations4 + rep.Violations5; v != 0 {
+					b.Fatalf("theorem violations: %+v", rep)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDegradationSweepWorkers is the same scaling probe over the
+// degradation sweep (the heaviest table of cmd/sweep).
+func BenchmarkDegradationSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := DefaultDegradation()
+			opt.Trials = 8
+			opt.Intervals = []int{4, 32}
+			opt.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := DegradationSweep(opt, uint64(i+1)); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -1,0 +1,174 @@
+// benchbase turns `go test -bench` output into a machine-readable baseline
+// file (BENCH_NN.json), starting and extending the repository's performance
+// trajectory. It reads benchmark output from stdin (or -in), parses every
+// result line — including -benchmem columns and custom b.ReportMetric
+// metrics — and writes a JSON document with the environment banner go test
+// prints (goos/goarch/pkg/cpu).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchbase -o BENCH_01.json
+//	go run ./cmd/benchbase -in bench.txt -o BENCH_02.json -note "after X"
+//
+// Compare two baselines by diffing their JSON or feeding the raw text to
+// benchstat; benchbase deliberately stores the unmodified per-benchmark
+// numbers so later tooling can post-process them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// -N GOMAXPROCS suffix, e.g. "BenchmarkRouterStep/limited-8".
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are the -benchmem columns (absent without it).
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every custom b.ReportMetric unit (e.g. "a_rounds").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the document benchbase emits.
+type Baseline struct {
+	// Note is freeform provenance (-note), e.g. what change the baseline
+	// precedes or follows.
+	Note string `json:"note,omitempty"`
+	// Goos/Goarch/Pkg/CPU are taken from go test's banner lines.
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchbase: ")
+	var (
+		in   = flag.String("in", "", "input file with `go test -bench` output (default stdin)")
+		out  = flag.String("o", "", "output JSON path (default stdout)")
+		note = flag.String("note", "", "freeform provenance note stored in the baseline")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	base, err := Parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(base.Results) == 0 {
+		log.Fatal("no benchmark results found in input")
+	}
+	base.Note = *note
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(base.Results), *out)
+}
+
+// Parse reads go test -bench output and extracts the baseline.
+func Parse(r io.Reader) (*Baseline, error) {
+	base := &Baseline{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			base.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			base.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			base.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if ok {
+				base.Results = append(base.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(base.Results, func(i, j int) bool {
+		return base.Results[i].Name < base.Results[j].Name
+	})
+	return base, nil
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8  1000  1234 ns/op  56 B/op  7 allocs/op  3.0 a_rounds
+//
+// The grammar after the iteration count is value-unit pairs.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0]}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = n
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return res, true
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ndmesh
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7StepEngine 	    2000	       314.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRouterStep/limited-4         	     500	     10335 ns/op	      34 B/op	       2 allocs/op
+BenchmarkFig1BlockConstruction 	    6944	    172083 ns/op	         8.000 a_rounds
+PASS
+ok  	ndmesh	12.3s
+`
+
+func TestParse(t *testing.T) {
+	base, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Goos != "linux" || base.Goarch != "amd64" || base.Pkg != "ndmesh" {
+		t.Fatalf("banner not parsed: %+v", base)
+	}
+	if len(base.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(base.Results))
+	}
+	// Results are sorted by name.
+	step := base.Results[1]
+	if step.Name != "BenchmarkFig7StepEngine" {
+		t.Fatalf("unexpected order: %+v", base.Results)
+	}
+	if step.Iterations != 2000 || step.NsPerOp != 314.9 {
+		t.Fatalf("ns/op not parsed: %+v", step)
+	}
+	if step.BytesPerOp == nil || *step.BytesPerOp != 0 || step.AllocsPerOp == nil || *step.AllocsPerOp != 0 {
+		t.Fatalf("benchmem columns not parsed: %+v", step)
+	}
+	blockCon := base.Results[0]
+	if blockCon.Metrics["a_rounds"] != 8 {
+		t.Fatalf("custom metric not parsed: %+v", blockCon)
+	}
+	sub := base.Results[2]
+	if sub.Name != "BenchmarkRouterStep/limited-4" || *sub.AllocsPerOp != 2 {
+		t.Fatalf("sub-benchmark not parsed: %+v", sub)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	base, err := Parse(strings.NewReader("random text\nBenchmarkBad notanumber ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Results) != 0 {
+		t.Fatalf("noise parsed as results: %+v", base.Results)
+	}
+}

@@ -4,11 +4,17 @@
 // routing metrics, the per-occurrence convergence of the information
 // constructions, and (for 2-D meshes) an ASCII picture of the final state.
 //
+// With -trials N (N > 1) it instead replicates the scenario under seeds
+// seed, seed+1, ..., seed+N-1 — fanned out across -workers CPUs by the
+// parallel experiment engine, with results independent of the worker count
+// — and prints aggregate routing statistics.
+//
 // Examples:
 //
 //	meshsim -dims 16x16 -faults 6 -interval 20 -router limited -seed 7
 //	meshsim -dims 10x10x10 -faults 4 -interval 40 -router blind
 //	meshsim -dims 16x16 -faults 5 -recover-after 60 -render
+//	meshsim -dims 16x16 -faults 6 -trials 200 -workers 0
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"strings"
 
 	"ndmesh"
+	"ndmesh/internal/par"
+	"ndmesh/internal/stats"
 )
 
 func main() {
@@ -38,14 +46,12 @@ func main() {
 		dstFlag      = flag.String("dst", "", "destination coordinate (default: high corner - 1)")
 		render       = flag.Bool("render", false, "print an ASCII picture of the final 2-D slice")
 		clustered    = flag.Bool("clustered", false, "grow one block instead of scattering faults")
+		trials       = flag.Int("trials", 1, "replicate the scenario under this many consecutive seeds and aggregate")
+		workers      = flag.Int("workers", 0, "parallel trial workers for -trials (0 = all CPUs)")
 	)
 	flag.Parse()
 
 	dims, err := parseDims(*dimsFlag)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sim, err := ndmesh.NewSimulation(ndmesh.Config{Dims: dims, Lambda: *lambda})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,15 +68,31 @@ func main() {
 		}
 	}
 
-	if err := sim.GenerateFaults(ndmesh.FaultPlan{
-		Faults:       *faults,
-		Interval:     *interval,
-		Start:        *start,
-		RecoverAfter: *recoverAfter,
-		Clustered:    *clustered,
-		Avoid:        []ndmesh.Coord{src, dst},
-		Seed:         *seed,
-	}); err != nil {
+	plan := func(seed uint64) ndmesh.FaultPlan {
+		return ndmesh.FaultPlan{
+			Faults:       *faults,
+			Interval:     *interval,
+			Start:        *start,
+			RecoverAfter: *recoverAfter,
+			Clustered:    *clustered,
+			Avoid:        []ndmesh.Coord{src, dst},
+			Seed:         seed,
+		}
+	}
+
+	if *trials > 1 {
+		if err := runBatch(dims, *lambda, *router, src, dst, *seed, *trials, *workers, plan); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	sim, err := ndmesh.NewSimulation(ndmesh.Config{Dims: dims, Lambda: *lambda})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := sim.GenerateFaults(plan(*seed)); err != nil {
 		log.Fatal(err)
 	}
 
@@ -108,6 +130,70 @@ func main() {
 		fmt.Print(sim.Render(nil))
 	}
 	os.Exit(0)
+}
+
+// runBatch replicates one scenario under consecutive seeds across the
+// worker pool, reusing one simulation per worker, and prints aggregate
+// routing metrics. The output is identical for every -workers value.
+func runBatch(dims []int, lambda int, router string, src, dst ndmesh.Coord,
+	seed uint64, trials, workers int, plan func(seed uint64) ndmesh.FaultPlan) error {
+	type simBox struct{ sim *ndmesh.Simulation }
+	results := make([]ndmesh.RouteResult, trials)
+	err := par.ForState(workers, trials, func() *simBox { return &simBox{} },
+		func(box *simBox, i int) error {
+			// The worker's simulation is lazily built on its first trial and
+			// reset (not reallocated) for every following one.
+			if box.sim == nil {
+				var err error
+				box.sim, err = ndmesh.NewSimulation(ndmesh.Config{Dims: dims, Lambda: lambda})
+				if err != nil {
+					return err
+				}
+			} else {
+				box.sim.Reset()
+			}
+			sim := box.sim
+			if err := sim.GenerateFaults(plan(seed + uint64(i))); err != nil {
+				return err
+			}
+			res, err := sim.Route(src, dst, router)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+
+	var hops, extra, back, steps stats.Summary
+	arrived, unreachable, lost := 0, 0, 0
+	for _, res := range results {
+		switch {
+		case res.Arrived:
+			arrived++
+			hops.AddInt(res.Hops)
+			extra.AddInt(res.ExtraHops)
+			back.AddInt(res.Backtracks)
+			steps.AddInt(res.Steps)
+		case res.Unreachable:
+			unreachable++
+		case res.Lost:
+			lost++
+		}
+	}
+	fmt.Printf("mesh %v, router %s, λ=%d, %d trials (seeds %d..%d), %d workers\n",
+		dims, router, lambda, trials, seed, seed+uint64(trials)-1, par.Workers(workers))
+	fmt.Printf("route %v -> %v\n", src, dst)
+	fmt.Printf("  arrived     %5d (%.1f%%)\n", arrived, 100*float64(arrived)/float64(trials))
+	fmt.Printf("  unreachable %5d\n", unreachable)
+	fmt.Printf("  lost        %5d\n", lost)
+	if arrived > 0 {
+		fmt.Printf("  hops        mean %.2f   extra mean %.2f   backtracks mean %.2f   steps mean %.2f\n",
+			hops.Mean(), extra.Mean(), back.Mean(), steps.Mean())
+	}
+	return nil
 }
 
 func parseDims(s string) ([]int, error) {

@@ -26,10 +26,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | all")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		trials = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | all")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -48,13 +49,13 @@ func main() {
 		}
 	}
 
-	run("convergence", func() (*stats.Table, error) { return convergenceTable(*seed) })
-	run("degradation", func() (*stats.Table, error) { return degradationTable(*seed, *trials) })
-	run("lambda", func() (*stats.Table, error) { return lambdaTable(*seed, *trials) })
-	run("memory", func() (*stats.Table, error) { return memoryTable(*seed) })
-	run("oscillation", func() (*stats.Table, error) { return oscillationTable(*seed, *trials) })
-	run("theorems", func() (*stats.Table, error) { return theoremsTable(*seed, *trials) })
-	run("traffic", func() (*stats.Table, error) { return trafficTable(*seed) })
+	run("convergence", func() (*stats.Table, error) { return convergenceTable(*seed, *workers) })
+	run("degradation", func() (*stats.Table, error) { return degradationTable(*seed, *trials, *workers) })
+	run("lambda", func() (*stats.Table, error) { return lambdaTable(*seed, *trials, *workers) })
+	run("memory", func() (*stats.Table, error) { return memoryTable(*seed, *workers) })
+	run("oscillation", func() (*stats.Table, error) { return oscillationTable(*seed, *trials, *workers) })
+	run("theorems", func() (*stats.Table, error) { return theoremsTable(*seed, *trials, *workers) })
+	run("traffic", func() (*stats.Table, error) { return trafficTable(*seed, *workers) })
 
 	if *exp != "all" {
 		switch *exp {
@@ -67,11 +68,11 @@ func main() {
 	}
 }
 
-func trafficTable(seed uint64) (*stats.Table, error) {
+func trafficTable(seed uint64, workers int) (*stats.Table, error) {
 	tab := stats.NewTable("E18 traffic: 24 concurrent messages, 16x16, 8 dynamic faults",
 		"interval", "router", "arrived%", "extra (mean)", "backtracks", "max steps")
 	for _, interval := range []int{4, 16} {
-		rows, err := ndmesh.TrafficSweep([]int{16, 16}, 24, 8, interval, seed)
+		rows, err := ndmesh.TrafficSweepWorkers([]int{16, 16}, 24, 8, interval, seed, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -82,10 +83,10 @@ func trafficTable(seed uint64) (*stats.Table, error) {
 	return tab, nil
 }
 
-func convergenceTable(seed uint64) (*stats.Table, error) {
-	rows, err := ndmesh.ConvergenceSweep([][]int{
+func convergenceTable(seed uint64, workers int) (*stats.Table, error) {
+	rows, err := ndmesh.ConvergenceSweepWorkers([][]int{
 		{16, 16}, {24, 24}, {10, 10, 10}, {6, 6, 6, 6}, {5, 5, 5, 5, 5},
-	}, 4, seed)
+	}, 4, seed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -97,8 +98,9 @@ func convergenceTable(seed uint64) (*stats.Table, error) {
 	return tab, nil
 }
 
-func degradationTable(seed uint64, trials int) (*stats.Table, error) {
+func degradationTable(seed uint64, trials, workers int) (*stats.Table, error) {
 	opt := ndmesh.DefaultDegradation()
+	opt.Workers = workers
 	if trials > 0 {
 		opt.Trials = trials
 	}
@@ -116,11 +118,11 @@ func degradationTable(seed uint64, trials int) (*stats.Table, error) {
 	return tab, nil
 }
 
-func lambdaTable(seed uint64, trials int) (*stats.Table, error) {
+func lambdaTable(seed uint64, trials, workers int) (*stats.Table, error) {
 	if trials == 0 {
 		trials = 30
 	}
-	rows, err := ndmesh.LambdaSweep([]int{16, 16}, []int{1, 2, 4, 8}, trials, seed)
+	rows, err := ndmesh.LambdaSweepWorkers([]int{16, 16}, []int{1, 2, 4, 8}, trials, seed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -133,10 +135,10 @@ func lambdaTable(seed uint64, trials int) (*stats.Table, error) {
 	return tab, nil
 }
 
-func memoryTable(seed uint64) (*stats.Table, error) {
-	rows, err := ndmesh.MemorySweep([][]int{
+func memoryTable(seed uint64, workers int) (*stats.Table, error) {
+	rows, err := ndmesh.MemorySweepWorkers([][]int{
 		{16, 16}, {32, 32}, {10, 10, 10}, {6, 6, 6, 6},
-	}, []int{2, 4, 8}, seed)
+	}, []int{2, 4, 8}, seed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -148,11 +150,11 @@ func memoryTable(seed uint64) (*stats.Table, error) {
 	return tab, nil
 }
 
-func oscillationTable(seed uint64, trials int) (*stats.Table, error) {
+func oscillationTable(seed uint64, trials, workers int) (*stats.Table, error) {
 	if trials == 0 {
 		trials = 20
 	}
-	rows, err := ndmesh.OscillationSweep([]int{16, 16}, 6, []int{2, 4, 8, 16, 32}, trials, seed)
+	rows, err := ndmesh.OscillationSweepWorkers([]int{16, 16}, 6, []int{2, 4, 8, 16, 32}, trials, seed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +167,7 @@ func oscillationTable(seed uint64, trials int) (*stats.Table, error) {
 	return tab, nil
 }
 
-func theoremsTable(seed uint64, trials int) (*stats.Table, error) {
+func theoremsTable(seed uint64, trials, workers int) (*stats.Table, error) {
 	if trials == 0 {
 		trials = 60
 	}
@@ -173,7 +175,7 @@ func theoremsTable(seed uint64, trials int) (*stats.Table, error) {
 		fmt.Sprintf("E11-E13 theorem validation: randomized conforming schedules, %d trials/mesh", trials),
 		"mesh", "trials", "safe", "unsafe", "skipped", "arrived", "viol T3", "viol T4", "viol T5", "extra (mean)", "bound (mean)")
 	for _, dims := range [][]int{{16, 16}, {10, 10, 10}} {
-		rep, err := ndmesh.TheoremSweep(dims, trials, seed)
+		rep, err := ndmesh.TheoremSweepWorkers(dims, trials, seed, workers)
 		if err != nil {
 			return nil, err
 		}

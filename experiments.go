@@ -8,6 +8,24 @@ package ndmesh
 // updates (E17) — and the randomized validation of Theorems 3, 4 and 5
 // (E11-E13). cmd/sweep prints these as tables; bench_test.go wraps them as
 // benchmarks; EXPERIMENTS.md records representative output.
+//
+// Every sweep runs its trials on the parallel experiment engine
+// (internal/par) with the following determinism guarantee: for a fixed
+// seed, the results are byte-identical for every worker count, including
+// workers=1 (the serial path). This holds because (a) each trial's random
+// stream is split from the sweep seed in trial-index order before the
+// fan-out, exactly as the former serial loops drew them, (b) each trial
+// writes only its own result slot, and (c) aggregation — including
+// order-sensitive floating-point accumulation — happens serially in trial
+// order after all workers finish. experiments_parallel_test.go asserts the
+// guarantee for every sweep. The plain sweep functions use all available
+// cores; the *Workers variants take an explicit worker count (values < 1
+// mean GOMAXPROCS).
+//
+// Each worker reuses one Simulation per (mesh shape, λ) across all the
+// trials it claims — Simulation.Reset rewinds mesh, protocols, store and
+// engine without reallocating — so trial restarts cost microseconds, not
+// allocations.
 
 import (
 	"fmt"
@@ -16,11 +34,63 @@ import (
 	"ndmesh/internal/engine"
 	"ndmesh/internal/fault"
 	"ndmesh/internal/grid"
+	"ndmesh/internal/par"
 	"ndmesh/internal/rng"
 	"ndmesh/internal/route"
 	"ndmesh/internal/safety"
 	"ndmesh/internal/stats"
 )
+
+// ---------------------------------------------------------------------------
+// Worker-local simulation reuse.
+
+// simPool is the per-worker state of a sweep: one reusable Simulation per
+// (shape, λ) pair. A pool is confined to a single worker goroutine, so no
+// locking is needed; pools never share simulations.
+type simPool struct {
+	sims map[simKey]*Simulation
+}
+
+type simKey struct {
+	dims   string
+	lambda int
+}
+
+func newSimPool() *simPool { return &simPool{sims: make(map[simKey]*Simulation)} }
+
+// get returns a fault-free simulation of the given shape and λ, resetting
+// and reusing a previously built one when possible.
+func (p *simPool) get(dims []int, lambda int) (*Simulation, error) {
+	key := simKey{fmt.Sprint(dims), lambda}
+	if sim, ok := p.sims[key]; ok {
+		sim.Reset()
+		return sim, nil
+	}
+	sim, err := NewSimulation(Config{Dims: dims, Lambda: lambda})
+	if err != nil {
+		return nil, err
+	}
+	p.sims[key] = sim
+	return sim, nil
+}
+
+// setSchedule copies a generated schedule into the simulation. The copy (not
+// an alias) keeps the sim's schedule buffer self-owned across resets.
+func setSchedule(sim *Simulation, sched *fault.Schedule) {
+	s := sim.schedule()
+	s.Events = append(s.Events[:0], sched.Events...)
+}
+
+// splitN pre-draws n child rng streams from the sweep seed, in trial-index
+// order — the serial prelude that makes the parallel fan-out deterministic.
+func splitN(seed uint64, n int) []*rng.Source {
+	r := rng.New(seed)
+	out := make([]*rng.Source, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
 
 // ---------------------------------------------------------------------------
 // E14: convergence of the information constructions.
@@ -45,13 +115,19 @@ type ConvergenceRow struct {
 // claim under test: information is collected and distributed quickly — the
 // rounds track the block perimeter, not the mesh size.
 func ConvergenceSweep(shapes [][]int, faultsPerShape int, seed uint64) ([]ConvergenceRow, error) {
-	var rows []ConvergenceRow
-	r := rng.New(seed)
-	for _, dims := range shapes {
-		rr := r.Split()
-		sim, err := NewSimulation(Config{Dims: dims, Lambda: 1})
+	return ConvergenceSweepWorkers(shapes, faultsPerShape, seed, 0)
+}
+
+// ConvergenceSweepWorkers is ConvergenceSweep with an explicit worker count
+// (each shape is one parallel job).
+func ConvergenceSweepWorkers(shapes [][]int, faultsPerShape int, seed uint64, workers int) ([]ConvergenceRow, error) {
+	rngs := splitN(seed, len(shapes))
+	results := make([][]ConvergenceRow, len(shapes))
+	err := par.ForState(workers, len(shapes), newSimPool, func(p *simPool, i int) error {
+		dims := shapes[i]
+		sim, err := p.get(dims, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		shape := sim.gridShape()
 		// Long, conforming intervals: each occurrence stabilizes fully.
@@ -60,14 +136,14 @@ func ConvergenceSweep(shapes [][]int, faultsPerShape int, seed uint64) ([]Conver
 			Interval:  interval,
 			Start:     2,
 			Clustered: true,
-		}, rr)
+		}, rngs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		*sim.schedule() = *sched
+		setSchedule(sim, sched)
 		sim.eng().Run((faultsPerShape + 2) * interval)
 		for _, ev := range sim.events() {
-			rows = append(rows, ConvergenceRow{
+			results[i] = append(results[i], ConvergenceRow{
 				Dims:       shape.String(),
 				N:          shape.NumNodes(),
 				FaultIndex: ev.Index,
@@ -79,6 +155,14 @@ func ConvergenceSweep(shapes [][]int, faultsPerShape int, seed uint64) ([]Conver
 				Records:    ev.RecordsAfter,
 			})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ConvergenceRow
+	for _, rs := range results {
+		rows = append(rows, rs...)
 	}
 	return rows, nil
 }
@@ -107,6 +191,9 @@ type DegradationOptions struct {
 	Routers   []string
 	Trials    int
 	Lambda    int
+	// Workers is the parallel fan-out width; < 1 means GOMAXPROCS. The
+	// results are identical for every value (see the package comment).
+	Workers int
 }
 
 // DefaultDegradation returns the standard configuration: a 16x16 mesh,
@@ -127,12 +214,60 @@ func DefaultDegradation() DegradationOptions {
 // a source/destination pair and a fault schedule, and replays the identical
 // scenario under each router. The paper's claim under test: with limited
 // global information the routing degrades gracefully as intervals shrink,
-// tracking the oracle and far below the blind searcher.
+// tracking the oracle and far below the blind searcher. Trials run on the
+// parallel engine (opt.Workers wide).
 func DegradationSweep(opt DegradationOptions, seed uint64) ([]DegradationRow, error) {
 	shape, err := grid.NewShape(opt.Dims...)
 	if err != nil {
 		return nil, err
 	}
+	// One job per (interval, trial), in interval-major order — the order the
+	// serial loop visited them and the order the trial rngs are split in.
+	jobs := len(opt.Intervals) * opt.Trials
+	rngs := splitN(seed, jobs)
+	results := make([][]RouteResult, jobs)
+	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
+		interval := opt.Intervals[j/opt.Trials]
+		trial := j % opt.Trials
+		tr := rngs[j]
+		src, dst := drawPair(shape, tr)
+		// Half the trials anchor the first fault on the route midpoint
+		// so the schedules actually intersect the traffic.
+		genOpt := fault.Options{
+			Interval:      interval,
+			Start:         2,
+			Exclude:       []grid.NodeID{src, dst},
+			ExcludeRadius: 1,
+			MinSpacing:    4,
+		}
+		if trial%2 == 0 {
+			genOpt.Anchor = midpoint(shape, src, dst)
+			genOpt.UseAnchor = true
+		}
+		sched, err := fault.Generate(shape, opt.Faults, genOpt, tr)
+		if err != nil {
+			genOpt.UseAnchor = false
+			sched, err = fault.Generate(shape, opt.Faults, genOpt, tr)
+			if err != nil {
+				return err
+			}
+		}
+		out := make([]RouteResult, len(opt.Routers))
+		for ri, router := range opt.Routers {
+			res, err := p.replay(opt.Dims, opt.Lambda, sched, src, dst, router)
+			if err != nil {
+				return err
+			}
+			out[ri] = res
+		}
+		results[j] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Serial aggregation in trial order.
 	type cell struct {
 		steps, extra, back stats.Summary
 		extras             []int
@@ -140,51 +275,22 @@ func DegradationSweep(opt DegradationOptions, seed uint64) ([]DegradationRow, er
 	}
 	cells := make(map[string]*cell)
 	key := func(interval int, router string) string { return fmt.Sprintf("%d/%s", interval, router) }
-
-	r := rng.New(seed)
-	for _, interval := range opt.Intervals {
-		for trial := 0; trial < opt.Trials; trial++ {
-			tr := r.Split()
-			src, dst := drawPair(shape, tr)
-			// Half the trials anchor the first fault on the route midpoint
-			// so the schedules actually intersect the traffic.
-			genOpt := fault.Options{
-				Interval:      interval,
-				Start:         2,
-				Exclude:       []grid.NodeID{src, dst},
-				ExcludeRadius: 1,
-				MinSpacing:    4,
+	for j, out := range results {
+		interval := opt.Intervals[j/opt.Trials]
+		for ri, router := range opt.Routers {
+			res := out[ri]
+			c := cells[key(interval, router)]
+			if c == nil {
+				c = &cell{}
+				cells[key(interval, router)] = c
 			}
-			if trial%2 == 0 {
-				genOpt.Anchor = midpoint(shape, src, dst)
-				genOpt.UseAnchor = true
-			}
-			sched, err := fault.Generate(shape, opt.Faults, genOpt, tr)
-			if err != nil {
-				genOpt.UseAnchor = false
-				sched, err = fault.Generate(shape, opt.Faults, genOpt, tr)
-				if err != nil {
-					return nil, err
-				}
-			}
-			for _, router := range opt.Routers {
-				res, err := replay(opt.Dims, opt.Lambda, sched, src, dst, router)
-				if err != nil {
-					return nil, err
-				}
-				c := cells[key(interval, router)]
-				if c == nil {
-					c = &cell{}
-					cells[key(interval, router)] = c
-				}
-				c.trials++
-				if res.Arrived {
-					c.success++
-					c.steps.AddInt(res.Steps)
-					c.extra.AddInt(res.ExtraHops)
-					c.back.AddInt(res.Backtracks)
-					c.extras = append(c.extras, res.ExtraHops)
-				}
+			c.trials++
+			if res.Arrived {
+				c.success++
+				c.steps.AddInt(res.Steps)
+				c.extra.AddInt(res.ExtraHops)
+				c.back.AddInt(res.Backtracks)
+				c.extras = append(c.extras, res.ExtraHops)
 			}
 		}
 	}
@@ -212,13 +318,14 @@ func DegradationSweep(opt DegradationOptions, seed uint64) ([]DegradationRow, er
 	return rows, nil
 }
 
-// replay runs one (schedule, pair, router) scenario on a fresh simulation.
-func replay(dims []int, lambda int, sched *fault.Schedule, src, dst grid.NodeID, router string) (RouteResult, error) {
-	sim, err := NewSimulation(Config{Dims: dims, Lambda: lambda})
+// replay runs one (schedule, pair, router) scenario on a reused simulation
+// from the worker's pool.
+func (p *simPool) replay(dims []int, lambda int, sched *fault.Schedule, src, dst grid.NodeID, router string) (RouteResult, error) {
+	sim, err := p.get(dims, lambda)
 	if err != nil {
 		return RouteResult{}, err
 	}
-	sim.schedule().Events = append(sim.schedule().Events, sched.Events...)
+	setSchedule(sim, sched)
 	r, err := route.ByName(router)
 	if err != nil {
 		return RouteResult{}, err
@@ -302,17 +409,24 @@ type LambdaRow struct {
 // receive) — the paper's "fault information can be distributed quickly to
 // help the routing process".
 func LambdaSweep(dims []int, lambdas []int, trials int, seed uint64) ([]LambdaRow, error) {
+	return LambdaSweepWorkers(dims, lambdas, trials, seed, 0)
+}
+
+// LambdaSweepWorkers is LambdaSweep with an explicit worker count (each
+// (λ, router, case) replay is one parallel job).
+func LambdaSweepWorkers(dims []int, lambdas []int, trials int, seed uint64, workers int) ([]LambdaRow, error) {
 	shape, err := grid.NewShape(dims...)
 	if err != nil {
 		return nil, err
 	}
-	var rows []LambdaRow
 	routers := []string{"limited", "oracle", "blind"}
-	r := rng.New(seed)
 	type trialCase struct {
 		src, dst grid.NodeID
 		sched    *fault.Schedule
 	}
+	// Case generation is the serial prelude: one rng split per case, in
+	// case order.
+	r := rng.New(seed)
 	cases := make([]trialCase, 0, trials)
 	for i := 0; i < trials; i++ {
 		tr := r.Split()
@@ -344,15 +458,36 @@ func LambdaSweep(dims []int, lambdas []int, trials int, seed uint64) ([]LambdaRo
 		}
 		cases = append(cases, trialCase{src, dst, sched})
 	}
+
+	// Replays carry no randomness of their own: fan every (λ, router, case)
+	// combination out and aggregate in the serial loop's visit order.
+	jobs := len(lambdas) * len(routers) * len(cases)
+	results := make([]RouteResult, jobs)
+	err = par.ForState(workers, jobs, newSimPool, func(p *simPool, j int) error {
+		li := j / (len(routers) * len(cases))
+		ri := j / len(cases) % len(routers)
+		ci := j % len(cases)
+		tc := cases[ci]
+		res, err := p.replay(dims, lambdas[li], tc.sched, tc.src, tc.dst, routers[ri])
+		if err != nil {
+			return err
+		}
+		results[j] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []LambdaRow
+	j := 0
 	for _, lambda := range lambdas {
 		for _, router := range routers {
 			var extra, back stats.Summary
 			success := 0
-			for _, tc := range cases {
-				res, err := replay(dims, lambda, tc.sched, tc.src, tc.dst, router)
-				if err != nil {
-					return nil, err
-				}
+			for range cases {
+				res := results[j]
+				j++
 				if res.Arrived {
 					success++
 					extra.AddInt(res.ExtraHops)
@@ -388,49 +523,59 @@ type MemoryRow struct {
 // MemorySweep stabilizes F scattered faults on each shape and reports the
 // information placement size.
 func MemorySweep(shapes [][]int, faults []int, seed uint64) ([]MemoryRow, error) {
-	var rows []MemoryRow
-	r := rng.New(seed)
-	for _, dims := range shapes {
-		for _, f := range faults {
-			rr := r.Split()
-			sim, err := NewSimulation(Config{Dims: dims, Lambda: 1})
-			if err != nil {
-				return nil, err
-			}
-			shape := sim.gridShape()
-			// Spacing adapts to the interior width so the constraint stays
-			// satisfiable on small-radix meshes (6^4 has only a 4-wide
-			// interior).
-			spacing := 4
-			for _, k := range dims {
-				if k-3 < spacing {
-					spacing = k - 3
-				}
-			}
-			if spacing < 2 {
-				spacing = 2
-			}
-			sched, err := fault.Generate(shape, f, fault.Options{MinSpacing: spacing}, rr)
-			if err != nil {
-				return nil, err
-			}
-			sched.Apply(sim.fabric())
-			// Seed everything at once and stabilize.
-			for _, ev := range sched.Events {
-				sim.coreModel().Labeling.Seed(ev.Node)
-				sim.coreModel().Detector.Seed(ev.Node)
-			}
-			sim.Stabilize()
-			rows = append(rows, MemoryRow{
-				Dims:          shape.String(),
-				N:             shape.NumNodes(),
-				Faults:        f,
-				Records:       sim.InfoRecords(),
-				NodesWithInfo: sim.NodesWithInfo(),
-				NodePct:       100 * float64(sim.NodesWithInfo()) / float64(shape.NumNodes()),
-				GlobalEntries: shape.NumNodes() * f,
-			})
+	return MemorySweepWorkers(shapes, faults, seed, 0)
+}
+
+// MemorySweepWorkers is MemorySweep with an explicit worker count (each
+// (shape, F) cell is one parallel job).
+func MemorySweepWorkers(shapes [][]int, faults []int, seed uint64, workers int) ([]MemoryRow, error) {
+	jobs := len(shapes) * len(faults)
+	rngs := splitN(seed, jobs)
+	rows := make([]MemoryRow, jobs)
+	err := par.ForState(workers, jobs, newSimPool, func(p *simPool, j int) error {
+		dims := shapes[j/len(faults)]
+		f := faults[j%len(faults)]
+		sim, err := p.get(dims, 1)
+		if err != nil {
+			return err
 		}
+		shape := sim.gridShape()
+		// Spacing adapts to the interior width so the constraint stays
+		// satisfiable on small-radix meshes (6^4 has only a 4-wide
+		// interior).
+		spacing := 4
+		for _, k := range dims {
+			if k-3 < spacing {
+				spacing = k - 3
+			}
+		}
+		if spacing < 2 {
+			spacing = 2
+		}
+		sched, err := fault.Generate(shape, f, fault.Options{MinSpacing: spacing}, rngs[j])
+		if err != nil {
+			return err
+		}
+		sched.Apply(sim.fabric())
+		// Seed everything at once and stabilize.
+		for _, ev := range sched.Events {
+			sim.coreModel().Labeling.Seed(ev.Node)
+			sim.coreModel().Detector.Seed(ev.Node)
+		}
+		sim.Stabilize()
+		rows[j] = MemoryRow{
+			Dims:          shape.String(),
+			N:             shape.NumNodes(),
+			Faults:        f,
+			Records:       sim.InfoRecords(),
+			NodesWithInfo: sim.NodesWithInfo(),
+			NodePct:       100 * float64(sim.NodesWithInfo()) / float64(shape.NumNodes()),
+			GlobalEntries: shape.NumNodes() * f,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -454,36 +599,54 @@ type OscillationRow struct {
 // the update converges quickly and only affected nodes update (reduced
 // oscillation compared to routing-table flooding).
 func OscillationSweep(dims []int, faults int, intervals []int, trials int, seed uint64) ([]OscillationRow, error) {
+	return OscillationSweepWorkers(dims, faults, intervals, trials, seed, 0)
+}
+
+// OscillationSweepWorkers is OscillationSweep with an explicit worker count
+// (each (interval, trial) run is one parallel job).
+func OscillationSweepWorkers(dims []int, faults int, intervals []int, trials int, seed uint64, workers int) ([]OscillationRow, error) {
+	type evStat struct{ affected, arounds int }
+	jobs := len(intervals) * trials
+	rngs := splitN(seed, jobs)
+	results := make([][]evStat, jobs)
+	err := par.ForState(workers, jobs, newSimPool, func(p *simPool, j int) error {
+		interval := intervals[j/trials]
+		sim, err := p.get(dims, 1)
+		if err != nil {
+			return err
+		}
+		shape := sim.gridShape()
+		sched, err := fault.Generate(shape, faults, fault.Options{
+			Interval:  interval,
+			Start:     2,
+			Clustered: true,
+		}, rngs[j])
+		if err != nil {
+			return err
+		}
+		setSchedule(sim, sched)
+		sim.eng().Run(faults*interval + 10*shape.Diameter() + 100)
+		for _, ev := range sim.events() {
+			results[j] = append(results[j], evStat{ev.Affected, ev.ARounds})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []OscillationRow
-	r := rng.New(seed)
-	for _, interval := range intervals {
-		var trans, affected, arounds stats.Summary
+	for ii, interval := range intervals {
+		var affected, arounds stats.Summary
 		maxA := 0
-		for trial := 0; trial < trials; trial++ {
-			rr := r.Split()
-			sim, err := NewSimulation(Config{Dims: dims, Lambda: 1})
-			if err != nil {
-				return nil, err
-			}
-			shape := sim.gridShape()
-			sched, err := fault.Generate(shape, faults, fault.Options{
-				Interval:  interval,
-				Start:     2,
-				Clustered: true,
-			}, rr)
-			if err != nil {
-				return nil, err
-			}
-			*sim.schedule() = *sched
-			sim.eng().Run(faults*interval + 10*shape.Diameter() + 100)
-			for _, ev := range sim.events() {
-				affected.AddInt(ev.Affected)
-				arounds.AddInt(ev.ARounds)
-				if ev.ARounds > maxA {
-					maxA = ev.ARounds
+		for t := 0; t < trials; t++ {
+			for _, ev := range results[ii*trials+t] {
+				affected.AddInt(ev.affected)
+				arounds.AddInt(ev.arounds)
+				if ev.arounds > maxA {
+					maxA = ev.arounds
 				}
 			}
-			_ = trans
 		}
 		rows = append(rows, OscillationRow{
 			Interval:        interval,
@@ -516,12 +679,19 @@ type TrafficRow struct {
 // TrafficSweep injects many messages with random endpoints into one
 // dynamic-fault scenario per router and reports population metrics.
 func TrafficSweep(dims []int, messages int, faults int, interval int, seed uint64) ([]TrafficRow, error) {
+	return TrafficSweepWorkers(dims, messages, faults, interval, seed, 0)
+}
+
+// TrafficSweepWorkers is TrafficSweep with an explicit worker count (each
+// router's population run is one parallel job).
+func TrafficSweepWorkers(dims []int, messages int, faults int, interval int, seed uint64, workers int) ([]TrafficRow, error) {
 	shape, err := grid.NewShape(dims...)
 	if err != nil {
 		return nil, err
 	}
 	r := rng.New(seed)
-	// One endpoint set and one schedule shared by all routers.
+	// One endpoint set and one schedule shared by all routers (serial
+	// prelude; the per-router runs draw no randomness).
 	type pair struct{ src, dst grid.NodeID }
 	pairs := make([]pair, messages)
 	var exclude []grid.NodeID
@@ -540,22 +710,24 @@ func TrafficSweep(dims []int, messages int, faults int, interval int, seed uint6
 	if err != nil {
 		return nil, err
 	}
-	var rows []TrafficRow
-	for _, router := range []string{"limited", "oracle", "blind"} {
-		sim, err := NewSimulation(Config{Dims: dims, Lambda: 2})
+	routers := []string{"limited", "oracle", "blind"}
+	rows := make([]TrafficRow, len(routers))
+	err = par.ForState(workers, len(routers), newSimPool, func(p *simPool, j int) error {
+		router := routers[j]
+		sim, err := p.get(dims, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sim.schedule().Events = append(sim.schedule().Events, sched.Events...)
+		setSchedule(sim, sched)
 		var flights []*engine.Flight
-		for _, p := range pairs {
+		for _, pr := range pairs {
 			rt, err := route.ByName(router)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			fl, err := sim.eng().Inject(p.src, p.dst, rt)
+			fl, err := sim.eng().Inject(pr.src, pr.dst, rt)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			flights = append(flights, fl)
 		}
@@ -577,7 +749,11 @@ func TrafficSweep(dims []int, messages int, faults int, interval int, seed uint6
 		}
 		row.ArrivedPct = 100 * float64(arrived) / float64(messages)
 		row.MeanExtra = extra.Mean()
-		rows = append(rows, row)
+		rows[j] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -609,17 +785,36 @@ type TheoremReport struct {
 	MeanDetourBound float64
 }
 
+// theoremTrial is one trial's contribution to a TheoremReport, merged in
+// trial order by the aggregator.
+type theoremTrial struct {
+	safe, unsafeSrc bool
+	noPath          bool // unsafe with no enabled path: outside every premise
+	premiseSkipped  bool
+	arrived         bool
+	extra           int
+	v3, v4, v5      int
+	bound           int
+	hasBound        bool
+}
+
 // TheoremSweep runs randomized conforming dynamic-fault scenarios and
 // checks every measured trace against Theorems 3, 4 and 5.
 func TheoremSweep(dims []int, trials int, seed uint64) (TheoremReport, error) {
+	return TheoremSweepWorkers(dims, trials, seed, 0)
+}
+
+// TheoremSweepWorkers is TheoremSweep with an explicit worker count (each
+// trial is one parallel job).
+func TheoremSweepWorkers(dims []int, trials int, seed uint64, workers int) (TheoremReport, error) {
 	rep := TheoremReport{Trials: trials}
-	r := rng.New(seed)
-	var extra, bound stats.Summary
-	for trial := 0; trial < trials; trial++ {
-		rr := r.Split()
-		sim, err := NewSimulation(Config{Dims: dims, Lambda: 2})
+	rngs := splitN(seed, trials)
+	results := make([]theoremTrial, trials)
+	err := par.ForState(workers, trials, newSimPool, func(p *simPool, trial int) error {
+		rr := rngs[trial]
+		sim, err := p.get(dims, 2)
 		if err != nil {
-			return rep, err
+			return err
 		}
 		shape := sim.gridShape()
 		src, dst := drawPair(shape, rr)
@@ -636,51 +831,86 @@ func TheoremSweep(dims []int, trials int, seed uint64) (TheoremReport, error) {
 			MinSpacing:    4,
 		}, rr)
 		if err != nil {
-			return rep, err
+			return err
 		}
-		*sim.schedule() = *sched
+		setSchedule(sim, sched)
 		// Run until just after occurrence p, then inject.
 		injectAt := 2 + preFaults*interval - interval/2
 		sim.RunSteps(injectAt)
+		var res theoremTrial
 		unsafePath, hasPath := 0, true
 		if !sim.SourceSafe(sim.CoordOf(src), sim.CoordOf(dst)) {
-			rep.UnsafeTrials++
+			res.unsafeSrc = true
 			unsafePath, hasPath = safety.PathExists(sim.fabric(), src, dst)
 			if !hasPath {
-				continue // outside every theorem's premise
+				res.noPath = true
+				results[trial] = res
+				return nil // outside every theorem's premise
 			}
 		} else {
-			rep.SafeTrials++
+			res.safe = true
 			// Premise check: the theorems charge detours only to new
 			// blocks, assuming the routing is minimal against the blocks
 			// that already exist. Verify on a static replay with the
 			// pre-injection faults only; skip the bounds otherwise.
-			if !staticallyMinimal(dims, sched, preFaults, src, dst) {
-				rep.PremiseSkipped++
-				continue
+			if !p.staticallyMinimal(dims, sched, preFaults, src, dst) {
+				res.premiseSkipped = true
+				results[trial] = res
+				return nil
 			}
 		}
 		rtr := route.Limited{}
 		fl, err := sim.eng().Inject(src, dst, rtr)
 		if err != nil {
-			return rep, err
+			return err
 		}
 		sim.eng().RunFlights(40*shape.Diameter() + faults*interval)
 
 		tr, ivs, pIv := buildTrace(sim, fl, preFaults)
 		if fl.Msg.Arrived {
-			rep.Arrived++
-			extra.AddInt(tr.ExtraSteps())
+			res.arrived = true
+			res.extra = tr.ExtraSteps()
 		}
-		if unsafePath == 0 { // safe source
-			rep.Violations3 += len(detour.CheckTheorem3(tr, pIv, ivs[1:]))
-			rep.Violations4 += len(detour.CheckTheorem4(tr, ivs))
+		if !res.unsafeSrc { // safe source
+			res.v3 = len(detour.CheckTheorem3(tr, pIv, ivs[1:]))
+			res.v4 = len(detour.CheckTheorem4(tr, ivs))
 			k := detour.KBound(tr.D0, tr.Start, ivs)
-			bound.AddInt(detour.MaxDetourBound(k, ivs))
+			res.bound, res.hasBound = detour.MaxDetourBound(k, ivs), true
 		} else {
-			rep.Violations5 += len(detour.CheckTheorem5(tr, unsafePath, ivs))
+			res.v5 = len(detour.CheckTheorem5(tr, unsafePath, ivs))
 			k := detour.KBound(unsafePath, tr.Start, ivs)
-			bound.AddInt(detour.MaxDetourBound(k, ivs))
+			res.bound, res.hasBound = detour.MaxDetourBound(k, ivs), true
+		}
+		results[trial] = res
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	var extra, bound stats.Summary
+	for _, res := range results {
+		switch {
+		case res.unsafeSrc:
+			rep.UnsafeTrials++
+		case res.safe:
+			rep.SafeTrials++
+		}
+		if res.noPath || res.premiseSkipped {
+			if res.premiseSkipped {
+				rep.PremiseSkipped++
+			}
+			continue
+		}
+		if res.arrived {
+			rep.Arrived++
+			extra.AddInt(res.extra)
+		}
+		rep.Violations3 += res.v3
+		rep.Violations4 += res.v4
+		rep.Violations5 += res.v5
+		if res.hasBound {
+			bound.AddInt(res.bound)
 		}
 	}
 	rep.MeanExtraHops = extra.Mean()
@@ -691,8 +921,8 @@ func TheoremSweep(dims []int, trials int, seed uint64) (TheoremReport, error) {
 // staticallyMinimal replays src->dst on a mesh holding only the first p
 // faults (stabilized, no dynamics) and reports whether the limited router
 // achieves the minimal distance — the implicit premise of Theorems 3/4.
-func staticallyMinimal(dims []int, sched *fault.Schedule, p int, src, dst grid.NodeID) bool {
-	sim, err := NewSimulation(Config{Dims: dims, Lambda: 1})
+func (pl *simPool) staticallyMinimal(dims []int, sched *fault.Schedule, p int, src, dst grid.NodeID) bool {
+	sim, err := pl.get(dims, 1)
 	if err != nil {
 		return false
 	}

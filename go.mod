@@ -1,0 +1,3 @@
+module ndmesh
+
+go 1.24

@@ -73,6 +73,17 @@ func NewStepper(m *mesh.Mesh) *Stepper {
 // Mesh returns the underlying fabric.
 func (st *Stepper) Mesh() *mesh.Mesh { return st.m }
 
+// Reset discards all protocol state so the stepper can be reused for a new
+// trial on the same (reset) mesh. Buffers and map buckets are retained.
+func (st *Stepper) Reset() {
+	st.cand = st.cand[:0]
+	st.gen++ // stale inCand stamps are < gen, so membership self-clears
+	clear(st.cleanSet)
+	st.changedIDs = st.changedIDs[:0]
+	st.changedTo = st.changedTo[:0]
+	clear(st.affected)
+}
+
 // Seed registers externally-changed nodes (new faults, recoveries): the node
 // itself and its neighbors become candidates for the next round. A recovered
 // node (now Clean) joins the clean set.
@@ -99,7 +110,7 @@ func (st *Stepper) Quiescent() bool { return len(st.cand) == 0 && len(st.cleanSe
 
 // ResetAffected clears the affected-node accounting (typically at each new
 // fault occurrence so Affected counts per-event locality).
-func (st *Stepper) ResetAffected() { st.affected = make(map[grid.NodeID]struct{}) }
+func (st *Stepper) ResetAffected() { clear(st.affected) }
 
 // Affected returns the number of distinct nodes that changed status since
 // the last ResetAffected.

@@ -254,13 +254,22 @@ type Protocol struct {
 	m     *mesh.Mesh
 	store *info.Store
 	cons  []*Construction
+	// scratch is a reusable coordinate buffer for roundOne.
+	scratch grid.Coord
 	// Hops counts total node visits across constructions (message cost).
 	Hops int
 }
 
 // NewProtocol builds an empty boundary protocol over m and store.
 func NewProtocol(m *mesh.Mesh, store *info.Store) *Protocol {
-	return &Protocol{m: m, store: store}
+	return &Protocol{m: m, store: store, scratch: make(grid.Coord, m.Shape().Dims())}
+}
+
+// Reset abandons every in-flight construction so the protocol can be reused
+// for a new trial.
+func (p *Protocol) Reset() {
+	p.cons = p.cons[:0]
+	p.Hops = 0
 }
 
 // Start registers a construction for box seeded at the given nodes.
@@ -298,7 +307,7 @@ func (p *Protocol) Round() int {
 func (p *Protocol) roundOne(c *Construction) int {
 	var next []grid.NodeID
 	visits := 0
-	scratch := make(grid.Coord, p.m.Shape().Dims())
+	scratch := p.scratch
 	for _, id := range c.frontier {
 		if _, dup := c.visited[id]; dup {
 			continue

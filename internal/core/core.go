@@ -55,6 +55,11 @@ type Model struct {
 	epoch   uint32
 	round   int
 	watches map[string]*watched
+	// watchKeys is the reusable sort buffer of watchCorners and scratch the
+	// coordinate buffer of cornersConsistent; with them, a quiescent round
+	// over standing watches allocates nothing.
+	watchKeys []string
+	scratch   grid.Coord
 
 	// Debug, when non-nil, receives internal decision traces (tests only).
 	Debug func(format string, args ...any)
@@ -78,6 +83,7 @@ func New(m *mesh.Mesh) *Model {
 		Boundary: boundary.NewProtocol(m, store),
 		Store:    store,
 		watches:  make(map[string]*watched),
+		scratch:  make(grid.Coord, m.Shape().Dims()),
 	}
 	md.Ident.OnIdentified = md.onIdentified
 	return md
@@ -85,6 +91,25 @@ func New(m *mesh.Mesh) *Model {
 
 // Round returns the current global round counter.
 func (md *Model) RoundCount() int { return md.round }
+
+// Reset rewinds the model to the fault-free state over the same mesh so it
+// can be reused for a new trial: the mesh statuses, every protocol, the
+// information store, the watches and all convergence accounting are
+// cleared, while every internal buffer keeps its capacity. A reset model is
+// observationally identical to core.New over a reset mesh.
+func (md *Model) Reset() {
+	md.M.Reset()
+	md.Labeling.Reset()
+	md.Detector.Reset()
+	md.Ident.Reset()
+	md.Boundary.Reset()
+	md.Store.Clear()
+	md.epoch = 0
+	md.round = 0
+	clear(md.watches)
+	md.LastLabelRound, md.LastFrameRound, md.LastIdentRound, md.LastBoundaryRound = 0, 0, 0, 0
+	md.CancelsStarted = 0
+}
 
 // Epoch returns the current construction epoch.
 func (md *Model) Epoch() uint32 { return md.epoch }
@@ -185,11 +210,12 @@ func (md *Model) watchCorners() int {
 	if len(md.watches) == 0 {
 		return 0
 	}
-	keys := make([]string, 0, len(md.watches))
+	keys := md.watchKeys[:0]
 	for key := range md.watches {
 		keys = append(keys, key)
 	}
 	sort.Strings(keys)
+	md.watchKeys = keys
 	activity := 0
 	for _, key := range keys {
 		w := md.watches[key]
@@ -233,7 +259,7 @@ func (md *Model) cornersConsistent(w *watched) bool {
 		if md.M.Status(id) != mesh.Enabled {
 			continue
 		}
-		want := frame.SurfaceDirs(w.box, shape.CoordOf(id))
+		want := frame.SurfaceDirs(w.box, shape.Coord(id, md.scratch))
 		if !md.Detector.HasRecord(id, n, want) {
 			if md.Debug != nil {
 				md.Debug("watch %v: corner %v lost its role (want level %d dirs=%b, has %v)",

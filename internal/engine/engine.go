@@ -84,6 +84,12 @@ type Engine struct {
 
 	// RoundsRun counts total information rounds executed.
 	RoundsRun int
+
+	// spareFlights and spareEvents are free lists fed by Reset/ClearFlights:
+	// a reused trial re-injects messages and logs events without
+	// reallocating flight, message, or record objects.
+	spareFlights []*Flight
+	spareEvents  []*EventRecord
 }
 
 // New builds an engine over a model with the given λ (rounds of information
@@ -101,6 +107,30 @@ func New(md *core.Model, lambda int, sched *fault.Schedule) *Engine {
 // StepCount returns the current step number.
 func (e *Engine) StepCount() int { return e.step }
 
+// Reset rewinds the engine to step 0 for a new trial on the same model: the
+// schedule cursor returns to the first event, flights and event records are
+// recycled into the free lists. The model itself is reset separately
+// (core.Model.Reset); the Schedule is shared state the caller repopulates.
+//
+// Flights and event records handed out before Reset are recycled and MUST
+// NOT be read afterwards — consume results before resetting.
+func (e *Engine) Reset() {
+	e.ClearFlights()
+	e.spareEvents = append(e.spareEvents, e.Events...)
+	e.Events = e.Events[:0]
+	e.evIdx = 0
+	e.step = 0
+	e.RoundsRun = 0
+}
+
+// ClearFlights retires every flight (recycling it for future Inject calls)
+// without touching the schedule, the step counter, or the model. Benchmarks
+// use it to re-route over a standing scenario.
+func (e *Engine) ClearFlights() {
+	e.spareFlights = append(e.spareFlights, e.flights...)
+	e.flights = e.flights[:0]
+}
+
 // Inject adds a routing message from src to dst under the given router,
 // returning its flight. The message takes its first hop at the next Step.
 func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
@@ -111,11 +141,25 @@ func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
 	if _, isBlind := r.(route.Blind); !isBlind {
 		ctx.Store = e.Model.Store
 	}
-	f := &Flight{
-		Msg:       route.NewMessage(src, dst),
-		Router:    r,
-		Ctx:       ctx,
-		StartStep: e.step,
+	var f *Flight
+	if n := len(e.spareFlights); n > 0 {
+		f = e.spareFlights[n-1]
+		e.spareFlights = e.spareFlights[:n-1]
+		f.Msg.Reset(src, dst)
+		f.Router = r
+		// Assign context fields individually: the recycled context keeps
+		// its routing scratch buffers (route.Context.coords).
+		f.Ctx.M, f.Ctx.Store, f.Ctx.Policy = ctx.M, ctx.Store, ctx.Policy
+		f.StartStep = e.step
+		f.DistAt = f.DistAt[:0]
+		f.EventIdxAt = f.EventIdxAt[:0]
+	} else {
+		f = &Flight{
+			Msg:       route.NewMessage(src, dst),
+			Router:    r,
+			Ctx:       ctx,
+			StartStep: e.step,
+		}
 	}
 	e.flights = append(e.flights, f)
 	return f, nil
@@ -152,7 +196,14 @@ func (e *Engine) Step() {
 
 func (e *Engine) applyEvent(ev fault.Event) {
 	e.finalizeLastEvent()
-	rec := &EventRecord{
+	var rec *EventRecord
+	if n := len(e.spareEvents); n > 0 {
+		rec = e.spareEvents[n-1]
+		e.spareEvents = e.spareEvents[:n-1]
+	} else {
+		rec = &EventRecord{}
+	}
+	*rec = EventRecord{
 		Index: len(e.Events) + 1,
 		Step:  e.step,
 		Round: e.Model.RoundCount(),

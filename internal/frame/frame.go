@@ -19,8 +19,6 @@
 package frame
 
 import (
-	"sort"
-
 	"ndmesh/internal/grid"
 	"ndmesh/internal/mesh"
 )
@@ -194,6 +192,14 @@ type Detector struct {
 	// Round; consumers (identification initiation) read it after each
 	// round.
 	changed []grid.NodeID
+	// pending* are the per-round commit arena: announcements recomputed
+	// this round accumulate in one flat buffer (pending), with pendingIDs
+	// and pendingOff delimiting each node's range. The arena is reused
+	// every round, so a round allocates only when announcements outgrow
+	// all previous rounds' capacity.
+	pending    []Announcement
+	pendingIDs []grid.NodeID
+	pendingOff []int
 }
 
 // NewDetector builds a detector over m with empty announcements.
@@ -250,31 +256,49 @@ func (d *Detector) add(id grid.NodeID) {
 // Quiescent reports whether no candidates remain.
 func (d *Detector) Quiescent() bool { return len(d.cand) == 0 }
 
-// Round performs one synchronous announcement-update round and returns the
-// number of nodes whose announcements changed.
-func (d *Detector) Round() int {
-	m := d.m
-	type change struct {
-		id grid.NodeID
-		a  []Announcement
-	}
-	var changes []change
-	for _, id := range d.cand {
-		a := d.compute(id)
-		if !annsEqual(a, d.ann[id]) {
-			changes = append(changes, change{id, a})
+// Reset discards all announcements and candidates so the detector can be
+// reused for a new trial on the same (reset) mesh, retaining every buffer.
+func (d *Detector) Reset() {
+	for i := range d.ann {
+		if d.ann[i] != nil {
+			d.ann[i] = d.ann[i][:0]
 		}
 	}
+	d.cand = d.cand[:0]
+	d.gen++
+	d.changed = d.changed[:0]
+}
+
+// Round performs one synchronous announcement-update round and returns the
+// number of nodes whose announcements changed. Recomputed announcements are
+// staged in the reusable arena and committed together, preserving the
+// synchronous model (every compute sees only last round's announcements).
+func (d *Detector) Round() int {
+	m := d.m
+	d.pending = d.pending[:0]
+	d.pendingIDs = d.pendingIDs[:0]
+	d.pendingOff = d.pendingOff[:0]
+	for _, id := range d.cand {
+		start := len(d.pending)
+		d.pending = d.compute(id, d.pending)
+		if annsEqual(d.pending[start:], d.ann[id]) {
+			d.pending = d.pending[:start]
+			continue
+		}
+		d.pendingIDs = append(d.pendingIDs, id)
+		d.pendingOff = append(d.pendingOff, start)
+	}
+	d.pendingOff = append(d.pendingOff, len(d.pending))
 	d.gen++
 	d.cand = d.cand[:0]
 	d.changed = d.changed[:0]
-	for _, ch := range changes {
-		d.ann[ch.id] = ch.a
-		d.changed = append(d.changed, ch.id)
-		d.add(ch.id)
-		m.EachNeighbor(ch.id, func(nb grid.NodeID, _ grid.Dir) { d.add(nb) })
+	for k, id := range d.pendingIDs {
+		d.ann[id] = append(d.ann[id][:0], d.pending[d.pendingOff[k]:d.pendingOff[k+1]]...)
+		d.changed = append(d.changed, id)
+		d.add(id)
+		m.EachNeighbor(id, func(nb grid.NodeID, _ grid.Dir) { d.add(nb) })
 	}
-	return len(changes)
+	return len(d.pendingIDs)
 }
 
 func annsEqual(a, b []Announcement) bool {
@@ -312,19 +336,22 @@ func (d *Detector) Run() int {
 // 2's recursion evaluated from local information only. A node announces
 // every role it satisfies — one per adjacent block direction at level 1,
 // plus any corner roles derived from neighbor announcements.
-func (d *Detector) compute(id grid.NodeID) []Announcement {
+//
+// The announcements are appended to buf (the round arena) and the extended
+// buffer is returned; only the appended tail belongs to this node.
+func (d *Detector) compute(id grid.NodeID, buf []Announcement) []Announcement {
 	m := d.m
 	if m.Status(id) != mesh.Enabled {
-		return nil // only enabled nodes are frame nodes
+		return buf // only enabled nodes are frame nodes
 	}
-	var out []Announcement
+	start := len(buf)
 	add := func(a Announcement) {
-		for _, have := range out {
+		for _, have := range buf[start:] {
 			if have == a {
 				return
 			}
 		}
-		out = append(out, a)
+		buf = append(buf, a)
 	}
 	// Level 1: adjacent node — one record per bad-neighbor direction
 	// (each direction is evidence of a distinct block face; a convex block
@@ -360,13 +387,23 @@ func (d *Detector) compute(id grid.NodeID) []Announcement {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Level != out[j].Level {
-			return out[i].Level < out[j].Level
+	sortAnnouncements(buf[start:])
+	return buf
+}
+
+// sortAnnouncements orders by (Level, Dirs). Announcement lists are tiny (at
+// most a handful of roles per node), so an in-place insertion sort avoids
+// the allocation of sort.Slice on the hot round path.
+func sortAnnouncements(a []Announcement) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0; j-- {
+			if a[j-1].Level < a[j].Level ||
+				(a[j-1].Level == a[j].Level && a[j-1].Dirs <= a[j].Dirs) {
+				break
+			}
+			a[j], a[j-1] = a[j-1], a[j]
 		}
-		return out[i].Dirs < out[j].Dirs
-	})
-	return out
+	}
 }
 
 // consistentCorner verifies Definition 2's recursion for node id with the

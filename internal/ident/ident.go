@@ -63,15 +63,21 @@ type Protocol struct {
 	walkers []*walker
 	retryAt map[grid.NodeID]int
 	// pending holds nodes to consider for initiation (fed by announcement
-	// changes and by retry wakeups); inPending dedups.
-	pending   []grid.NodeID
-	inPending map[grid.NodeID]struct{}
+	// changes and by retry wakeups); inPending dedups. pendingSpare is the
+	// drained buffer of the previous round, recycled to avoid a per-round
+	// allocation (initiate swaps the two).
+	pending      []grid.NodeID
+	pendingSpare []grid.NodeID
+	inPending    map[grid.NodeID]struct{}
 	// retryQueue holds scheduled re-initiations of corners whose runs
 	// failed or were discarded.
 	retryQueue []retryEntry
 	round      int
 	seq        int
 	wseq       int
+	// scratchA/scratchB are reusable coordinate buffers for initiate, so a
+	// quiescent round performs no allocation.
+	scratchA, scratchB grid.Coord
 
 	// Hops counts walker moves (identification message cost).
 	Hops int
@@ -93,7 +99,24 @@ func NewProtocol(m *mesh.Mesh, det *frame.Detector, store *info.Store) *Protocol
 		retryAt:    make(map[grid.NodeID]int),
 		retryCount: make(map[grid.NodeID]int),
 		inPending:  make(map[grid.NodeID]struct{}),
+		scratchA:   make(grid.Coord, m.Shape().Dims()),
+		scratchB:   make(grid.Coord, m.Shape().Dims()),
 	}
+}
+
+// Reset abandons every in-flight run and all retry state so the protocol
+// can be reused for a new trial; tuning knobs (TTL, Backoff, MaxRetries)
+// and map buckets are retained.
+func (p *Protocol) Reset() {
+	clear(p.retryCount)
+	clear(p.retryAt)
+	clear(p.inPending)
+	p.runs = p.runs[:0]
+	p.walkers = p.walkers[:0]
+	p.pending = p.pending[:0]
+	p.retryQueue = p.retryQueue[:0]
+	p.round, p.seq, p.wseq = 0, 0, 0
+	p.Hops, p.Started, p.Completed, p.Failed = 0, 0, 0, 0
 }
 
 // retryEntry schedules a node for re-consideration at a future round.
@@ -251,7 +274,7 @@ func (p *Protocol) initiate() int {
 	// budgets) and drop retries whose corner has meanwhile received its
 	// block record from another initiator's construction.
 	n := p.m.Shape().Dims()
-	scratchRetry := make(grid.Coord, n)
+	scratchRetry := p.scratchA
 	due := p.retryQueue[:0]
 	for _, e := range p.retryQueue {
 		// Drop retries that became moot: the node stopped being an
@@ -270,9 +293,9 @@ func (p *Protocol) initiate() int {
 	p.retryQueue = due
 
 	started := 0
-	scratch := make(grid.Coord, n)
+	scratch := p.scratchB
 	todo := p.pending
-	p.pending = nil
+	p.pending = p.pendingSpare[:0]
 	for _, id := range todo {
 		delete(p.inPending, id)
 		if p.m.Status(id) != mesh.Enabled {
@@ -302,6 +325,7 @@ func (p *Protocol) initiate() int {
 			started++
 		}
 	}
+	p.pendingSpare = todo[:0]
 	return started
 }
 

@@ -115,10 +115,13 @@ func (s *Store) NodesWithInfo() int {
 	return n
 }
 
-// Clear removes all records.
+// Clear removes all records. Per-node slice capacity is retained so a
+// cleared store can be refilled without reallocating (trial reuse).
 func (s *Store) Clear() {
 	for i := range s.recs {
-		s.recs[i] = nil
+		if s.recs[i] != nil {
+			s.recs[i] = s.recs[i][:0]
+		}
 	}
 	s.total = 0
 }

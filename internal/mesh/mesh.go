@@ -282,11 +282,14 @@ func (m *Mesh) Restore(snap []Status) {
 	}
 }
 
-// Reset returns every node to Enabled.
+// Reset returns every node to Enabled. The version counter advances (it
+// never rewinds) so caches keyed on it — e.g. the oracle router's distance
+// field — cannot survive a reset and serve stale topology.
 func (m *Mesh) Reset() {
 	for i := range m.status {
 		m.status[i] = Enabled
 		m.cleanAge[i] = 0
 	}
 	m.faulty, m.disabled, m.clean = 0, 0, 0
+	m.version++
 }

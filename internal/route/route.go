@@ -47,6 +47,26 @@ type Context struct {
 	M      *mesh.Mesh
 	Store  *info.Store
 	Policy Policy
+
+	// ucBuf/dcBuf/wcBuf are reusable coordinate buffers and prefBuf/
+	// spareBuf/demBuf reusable direction lists for the per-step routing
+	// decision (lazily sized on first use), so a steady-state decision
+	// performs no allocation. They are scratch for the current Decide call
+	// only.
+	ucBuf, dcBuf, wcBuf       grid.Coord
+	prefBuf, spareBuf, demBuf []grid.Dir
+}
+
+// coords resolves the current node and the destination into the context's
+// reusable buffers.
+func (ctx *Context) coords(u, d grid.NodeID) (uc, dc grid.Coord) {
+	shape := ctx.M.Shape()
+	if len(ctx.ucBuf) != shape.Dims() {
+		ctx.ucBuf = make(grid.Coord, shape.Dims())
+		ctx.dcBuf = make(grid.Coord, shape.Dims())
+		ctx.wcBuf = make(grid.Coord, shape.Dims())
+	}
+	return shape.Coord(u, ctx.ucBuf), shape.Coord(d, ctx.dcBuf)
 }
 
 // Decision is the outcome of one routing decision.
@@ -102,6 +122,18 @@ func NewMessage(src, dst grid.NodeID) *Message {
 		Incoming: grid.InvalidDir,
 		used:     make(map[grid.NodeID]grid.DirSet),
 	}
+}
+
+// Reset rewinds the message to a fresh injection from src to dst, keeping
+// the path stack's capacity and the used-direction map's buckets so a
+// recycled message allocates nothing on its next flight.
+func (msg *Message) Reset(src, dst grid.NodeID) {
+	msg.Src, msg.Dst, msg.Cur = src, dst, src
+	msg.Incoming = grid.InvalidDir
+	msg.path = msg.path[:0]
+	clear(msg.used)
+	msg.Hops, msg.Backtracks, msg.Steps = 0, 0, 0
+	msg.Arrived, msg.Unreachable, msg.Lost = false, false, false
 }
 
 // Done reports whether the message reached a terminal state.
@@ -227,12 +259,11 @@ func (Limited) Decide(ctx *Context, msg *Message) Decision {
 		return backtrackOrFail(msg)
 	}
 	shape := m.Shape()
-	uc := shape.CoordOf(u)
-	dc := shape.CoordOf(msg.Dst)
+	uc, dc := ctx.coords(u, msg.Dst)
 	used := msg.used[u]
 	recs := recordsAt(ctx, u)
 
-	var preferred, demoted, spares []grid.Dir
+	preferred, demoted, spares := ctx.prefBuf[:0], ctx.demBuf[:0], ctx.spareBuf[:0]
 	for dv := 0; dv < shape.NumDirs(); dv++ {
 		dir := grid.Dir(dv)
 		if used.Has(dir) {
@@ -242,7 +273,7 @@ func (Limited) Decide(ctx *Context, msg *Message) Decision {
 		if next == grid.InvalidNode || m.Status(next) != mesh.Enabled {
 			continue
 		}
-		wc := shape.CoordOf(next)
+		wc := shape.Coord(next, ctx.wcBuf)
 		if isPreferred(uc, dc, dir) {
 			if demotedByRecords(recs, wc, dc) {
 				demoted = append(demoted, dir)
@@ -256,6 +287,8 @@ func (Limited) Decide(ctx *Context, msg *Message) Decision {
 		}
 		spares = append(spares, dir)
 	}
+	// Return the (possibly regrown) buffers to the context for reuse.
+	ctx.prefBuf, ctx.demBuf, ctx.spareBuf = preferred, demoted, spares
 
 	if len(preferred) > 0 {
 		return Decision{Move: true, Dir: pickPreferred(ctx, preferred, uc, dc)}
@@ -394,10 +427,9 @@ func (Blind) Decide(ctx *Context, msg *Message) Decision {
 		return backtrackOrFail(msg)
 	}
 	shape := m.Shape()
-	uc := shape.CoordOf(u)
-	dc := shape.CoordOf(msg.Dst)
+	uc, dc := ctx.coords(u, msg.Dst)
 	used := msg.used[u]
-	var preferred, spares []grid.Dir
+	preferred, spares := ctx.prefBuf[:0], ctx.spareBuf[:0]
 	for dv := 0; dv < shape.NumDirs(); dv++ {
 		dir := grid.Dir(dv)
 		if used.Has(dir) {
@@ -416,6 +448,7 @@ func (Blind) Decide(ctx *Context, msg *Message) Decision {
 		}
 		spares = append(spares, dir)
 	}
+	ctx.prefBuf, ctx.spareBuf = preferred, spares
 	if len(preferred) > 0 {
 		return Decision{Move: true, Dir: pickPreferred(ctx, preferred, uc, dc)}
 	}
@@ -523,8 +556,7 @@ func (DOR) Decide(ctx *Context, msg *Message) Decision {
 		return Decision{Fail: true}
 	}
 	shape := m.Shape()
-	uc := shape.CoordOf(msg.Cur)
-	dc := shape.CoordOf(msg.Dst)
+	uc, dc := ctx.coords(msg.Cur, msg.Dst)
 	for a := 0; a < shape.Dims(); a++ {
 		if uc[a] == dc[a] {
 			continue

@@ -1,0 +1,103 @@
+package ndmesh
+
+import (
+	"reflect"
+	"testing"
+
+	"ndmesh/internal/route"
+)
+
+// TestResetEquivalence is the contract the sweeps' trial-reuse rests on: a
+// Reset simulation must be observationally identical to a freshly
+// constructed one — same routing results, same per-occurrence convergence
+// log, same information placement — across dynamic scenarios that exercise
+// every protocol layer (labeling, detection, identification, boundary
+// floods, cancellation after recovery).
+func TestResetEquivalence(t *testing.T) {
+	cfg := Config{Dims: []int{14, 14}, Lambda: 2}
+	type outcome struct {
+		res     RouteResult
+		events  []EventSummary
+		records int
+		nodes   int
+		blocks  []Box
+	}
+	scenario := func(t *testing.T, sim *Simulation, seed uint64, router string) outcome {
+		t.Helper()
+		if err := sim.GenerateFaults(FaultPlan{
+			Faults:       5,
+			Interval:     9,
+			Start:        2,
+			RecoverAfter: 70,
+			Avoid:        []Coord{C(1, 2), C(12, 11)},
+			Seed:         seed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Route(C(1, 2), C(12, 11), router)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Drain()
+		return outcome{
+			res:     res,
+			events:  sim.Events(),
+			records: sim.InfoRecords(),
+			nodes:   sim.NodesWithInfo(),
+			blocks:  sim.Blocks(),
+		}
+	}
+
+	reused := MustSimulation(cfg)
+	for seed := uint64(1); seed <= 6; seed++ {
+		for _, router := range []string{"limited", "oracle", "blind"} {
+			fresh := MustSimulation(cfg)
+			want := scenario(t, fresh, seed, router)
+			reused.Reset()
+			got := scenario(t, reused, seed, router)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d router %s: reused simulation diverged\n got: %+v\nwant: %+v",
+					seed, router, got, want)
+			}
+		}
+	}
+}
+
+// TestResetAfterPartialRun resets mid-flight — schedule half-fired, message
+// in the air, constructions converging — and checks the next trial is
+// unaffected.
+func TestResetAfterPartialRun(t *testing.T) {
+	cfg := Config{Dims: []int{14, 14}, Lambda: 1}
+	reused := MustSimulation(cfg)
+	if err := reused.GenerateFaults(FaultPlan{Faults: 6, Interval: 5, Start: 1, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reused.eng().Inject(reused.shape.Index(C(1, 1)), reused.shape.Index(C(12, 12)), route.Limited{}); err != nil {
+		t.Fatal(err)
+	}
+	reused.RunSteps(11) // mid-schedule, mid-flight, mid-construction
+	reused.Reset()
+
+	fresh := MustSimulation(cfg)
+	for _, sim := range []*Simulation{fresh, reused} {
+		if err := sim.GenerateFaults(FaultPlan{Faults: 3, Interval: 30, Start: 2, Seed: 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantRes, err := fresh.Route(C(2, 2), C(11, 12), "limited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := reused.Route(C(2, 2), C(11, 12), "limited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRes != wantRes {
+		t.Errorf("post-reset route diverged: got %+v want %+v", gotRes, wantRes)
+	}
+	fresh.Drain()
+	reused.Drain()
+	if !reflect.DeepEqual(reused.Events(), fresh.Events()) {
+		t.Errorf("post-reset events diverged:\n got %+v\nwant %+v", reused.Events(), fresh.Events())
+	}
+}
