@@ -14,11 +14,15 @@ import (
 	"ndmesh/internal/block"
 	"ndmesh/internal/boundary"
 	"ndmesh/internal/core"
+	"ndmesh/internal/engine"
 	"ndmesh/internal/frame"
 	"ndmesh/internal/grid"
 	"ndmesh/internal/ident"
 	"ndmesh/internal/info"
 	"ndmesh/internal/mesh"
+	"ndmesh/internal/rng"
+	"ndmesh/internal/route"
+	"ndmesh/internal/traffic"
 )
 
 // fig1Faults is the running example of the paper.
@@ -444,4 +448,72 @@ func BenchmarkLabelingScale(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkContentionStep (E19a) measures one step of the contention-mode
+// engine with a standing population of limited-router flights arbitrating
+// for links — the inner loop of every load run. The steady-state path must
+// stay at 0 allocs/op (asserted by TestContentionStepAllocFree and pinned
+// in BENCH_02.json): flights, messages and arbitration state all recycle.
+func BenchmarkContentionStep(b *testing.B) {
+	sim := MustSimulation(Config{Dims: []int{16, 16}})
+	eng := sim.eng()
+	eng.EnableContention(engine.ContentionConfig{LinkRate: 1, NodeCapacity: 4})
+	shape := sim.gridShape()
+	r := rng.New(1)
+	type pair struct{ src, dst grid.NodeID }
+	pairs := make([]pair, 24)
+	for i := range pairs {
+		s, d := traffic.DrawLongHaulPair(shape, r)
+		pairs[i] = pair{s, d}
+	}
+	inject := func() {
+		for _, p := range pairs {
+			if _, err := eng.Inject(p.src, p.dst, route.Limited{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	inject()
+	// Warm the free lists and scratch buffers outside the timer.
+	for i := 0; i < 64; i++ {
+		eng.Step()
+		eng.DetachDone(nil)
+		if len(eng.Flights()) == 0 {
+			inject()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+		eng.DetachDone(nil)
+		if len(eng.Flights()) == 0 {
+			b.StopTimer()
+			inject()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkSaturationPoint (E19b) times one full latency-throughput point
+// — warmup, measurement and drain of an 8x8 uniform-random Bernoulli run
+// near saturation — and reports its headline quantities.
+func BenchmarkSaturationPoint(b *testing.B) {
+	opt := DefaultSaturation()
+	opt.Patterns = []string{"uniform"}
+	opt.Rates = []float64{0.35}
+	opt.Warmup, opt.Measure, opt.Drain = 32, 128, 128
+	// Fixed seed: the reported metrics must not depend on -benchtime.
+	var last SaturationRow
+	for i := 0; i < b.N; i++ {
+		rows, err := SaturationSweepWorkers(opt, 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0]
+	}
+	b.ReportMetric(float64(last.Delivered), "delivered")
+	b.ReportMetric(last.LatMean, "lat_mean")
+	b.ReportMetric(float64(last.LatP99), "lat_p99")
 }

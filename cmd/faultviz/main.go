@@ -14,10 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"strconv"
 	"strings"
 
 	"ndmesh"
+	"ndmesh/internal/cliutil"
 )
 
 func main() {
@@ -33,7 +33,7 @@ func main() {
 	)
 	flag.Parse()
 
-	dims, err := parseDims(*dimsFlag)
+	dims, err := cliutil.ParseDims(*dimsFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,13 +43,13 @@ func main() {
 	}
 	var fixed ndmesh.Coord
 	if *sliceStr != "" {
-		if fixed, err = parseCoord(*sliceStr, len(dims)); err != nil {
+		if fixed, err = cliutil.ParseCoord(*sliceStr, len(dims)); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	for _, part := range strings.Split(*faultsStr, ":") {
-		c, err := parseCoord(part, len(dims))
+		c, err := cliutil.ParseCoord(part, len(dims))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func main() {
 		sim.Blocks(), sim.InfoRecords(), sim.NodesWithInfo())
 
 	if *recover != "" {
-		c, err := parseCoord(*recover, len(dims))
+		c, err := cliutil.ParseCoord(*recover, len(dims))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,33 +91,4 @@ func animate(sim *ndmesh.Simulation, fixed ndmesh.Coord, every, maxRounds int) {
 			return // quiescent
 		}
 	}
-}
-
-func parseDims(s string) ([]int, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	dims := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad dimensions %q: %v", s, err)
-		}
-		dims = append(dims, v)
-	}
-	return dims, nil
-}
-
-func parseCoord(s string, n int) (ndmesh.Coord, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != n {
-		return nil, fmt.Errorf("coordinate %q needs %d components", s, n)
-	}
-	c := make(ndmesh.Coord, n)
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad coordinate %q: %v", s, err)
-		}
-		c[i] = v
-	}
-	return c, nil
 }

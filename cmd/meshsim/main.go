@@ -22,12 +22,12 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
 	"ndmesh"
+	"ndmesh/internal/cliutil"
 	"ndmesh/internal/par"
 	"ndmesh/internal/stats"
+	"ndmesh/internal/traffic"
 )
 
 func main() {
@@ -51,19 +51,19 @@ func main() {
 	)
 	flag.Parse()
 
-	dims, err := parseDims(*dimsFlag)
+	dims, err := cliutil.ParseDims(*dimsFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	src, dst := defaultEndpoints(dims)
 	if *srcFlag != "" {
-		if src, err = parseCoord(*srcFlag, len(dims)); err != nil {
+		if src, err = cliutil.ParseCoord(*srcFlag, len(dims)); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if *dstFlag != "" {
-		if dst, err = parseCoord(*dstFlag, len(dims)); err != nil {
+		if dst, err = cliutil.ParseCoord(*dstFlag, len(dims)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -167,7 +167,8 @@ func runBatch(dims []int, lambda int, router string, src, dst ndmesh.Coord,
 		return err
 	}
 
-	var hops, extra, back, steps stats.Summary
+	var hops, extra, back stats.Summary
+	latencies := make([]int, 0, trials)
 	arrived, unreachable, lost := 0, 0, 0
 	for _, res := range results {
 		switch {
@@ -176,7 +177,7 @@ func runBatch(dims []int, lambda int, router string, src, dst ndmesh.Coord,
 			hops.AddInt(res.Hops)
 			extra.AddInt(res.ExtraHops)
 			back.AddInt(res.Backtracks)
-			steps.AddInt(res.Steps)
+			latencies = append(latencies, res.Steps)
 		case res.Unreachable:
 			unreachable++
 		case res.Lost:
@@ -190,39 +191,13 @@ func runBatch(dims []int, lambda int, router string, src, dst ndmesh.Coord,
 	fmt.Printf("  unreachable %5d\n", unreachable)
 	fmt.Printf("  lost        %5d\n", lost)
 	if arrived > 0 {
-		fmt.Printf("  hops        mean %.2f   extra mean %.2f   backtracks mean %.2f   steps mean %.2f\n",
-			hops.Mean(), extra.Mean(), back.Mean(), steps.Mean())
+		fmt.Printf("  hops        mean %.2f   extra mean %.2f   backtracks mean %.2f\n",
+			hops.Mean(), extra.Mean(), back.Mean())
+		lat := traffic.Summarize(latencies)
+		fmt.Printf("  latency     mean %.2f steps   p50 %d   p95 %d   p99 %d   max %d\n",
+			lat.Mean, lat.P50, lat.P95, lat.P99, lat.Max)
 	}
 	return nil
-}
-
-func parseDims(s string) ([]int, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	dims := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad dimensions %q: %v", s, err)
-		}
-		dims = append(dims, v)
-	}
-	return dims, nil
-}
-
-func parseCoord(s string, n int) (ndmesh.Coord, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != n {
-		return nil, fmt.Errorf("coordinate %q needs %d components", s, n)
-	}
-	c := make(ndmesh.Coord, n)
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad coordinate %q: %v", s, err)
-		}
-		c[i] = v
-	}
-	return c, nil
 }
 
 func defaultEndpoints(dims []int) (ndmesh.Coord, ndmesh.Coord) {

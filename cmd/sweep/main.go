@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | all")
+		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | all")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trials  = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -56,10 +56,11 @@ func main() {
 	run("oscillation", func() (*stats.Table, error) { return oscillationTable(*seed, *trials, *workers) })
 	run("theorems", func() (*stats.Table, error) { return theoremsTable(*seed, *trials, *workers) })
 	run("traffic", func() (*stats.Table, error) { return trafficTable(*seed, *workers) })
+	run("saturation", func() (*stats.Table, error) { return saturationTable(*seed, *workers) })
 
 	if *exp != "all" {
 		switch *exp {
-		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic":
+		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic", "saturation":
 		default:
 			log.Printf("unknown experiment %q", *exp)
 			flag.Usage()
@@ -79,6 +80,24 @@ func trafficTable(seed uint64, workers int) (*stats.Table, error) {
 		for _, r := range rows {
 			tab.AddRow(interval, r.Router, r.ArrivedPct, r.MeanExtra, r.TotalBack, r.MaxSteps)
 		}
+	}
+	return tab, nil
+}
+
+func saturationTable(seed uint64, workers int) (*stats.Table, error) {
+	opt := ndmesh.DefaultSaturation()
+	opt.Routers = []string{"limited", "blind"}
+	opt.Rates = []float64{0.05, 0.15, 0.3}
+	opt.Warmup, opt.Measure, opt.Drain = 32, 128, 128
+	rows, err := ndmesh.SaturationSweepWorkers(opt, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("E19 saturation: 8x8, contention (link-rate 1), Bernoulli injection",
+		"pattern", "router", "offered", "accepted", "delivered", "unfin", "lat mean", "p50", "p99")
+	for _, r := range rows {
+		tab.AddRow(r.Pattern, r.Router, fmt.Sprintf("%.2f", r.OfferedRate), fmt.Sprintf("%.3f", r.AcceptedRate),
+			r.Delivered, r.Unfinished, r.LatMean, r.LatP50, r.LatP99)
 	}
 	return tab, nil
 }

@@ -39,6 +39,7 @@ import (
 	"ndmesh/internal/route"
 	"ndmesh/internal/safety"
 	"ndmesh/internal/stats"
+	"ndmesh/internal/traffic"
 )
 
 // ---------------------------------------------------------------------------
@@ -372,19 +373,12 @@ func pathPoint(shape *grid.Shape, src, dst grid.NodeID, frac float64) grid.NodeI
 }
 
 // drawPair draws distinct source/destination with distance at least half
-// the diameter, both off the outermost surface.
+// the diameter, both off the outermost surface. The implementation lives
+// in internal/traffic (DrawLongHaulPair) so the experiment sweeps and the
+// load subsystem share one endpoint generator; its rng consumption is
+// pinned by the golden sweep tests.
 func drawPair(shape *grid.Shape, r *rng.Source) (grid.NodeID, grid.NodeID) {
-	minD := shape.Diameter() / 2
-	for {
-		s := grid.NodeID(r.Intn(shape.NumNodes()))
-		d := grid.NodeID(r.Intn(shape.NumNodes()))
-		if s == d || shape.OnBorder(s) || shape.OnBorder(d) {
-			continue
-		}
-		if shape.Distance(s, d) >= minD {
-			return s, d
-		}
-	}
+	return traffic.DrawLongHaulPair(shape, r)
 }
 
 // ---------------------------------------------------------------------------
@@ -691,12 +685,14 @@ func TrafficSweepWorkers(dims []int, messages int, faults int, interval int, see
 	}
 	r := rng.New(seed)
 	// One endpoint set and one schedule shared by all routers (serial
-	// prelude; the per-router runs draw no randomness).
+	// prelude; the per-router runs draw no randomness). Endpoints come
+	// from the traffic subsystem's long-haul generator, the same stream
+	// discipline the saturation sweep uses.
 	type pair struct{ src, dst grid.NodeID }
 	pairs := make([]pair, messages)
 	var exclude []grid.NodeID
 	for i := range pairs {
-		s, d := drawPair(shape, r)
+		s, d := traffic.DrawLongHaulPair(shape, r)
 		pairs[i] = pair{s, d}
 		exclude = append(exclude, s, d)
 	}

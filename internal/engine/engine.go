@@ -35,6 +35,10 @@ type Flight struct {
 	// EventIdxAt records which global event index each DistAt sample
 	// belongs to.
 	EventIdxAt []int
+
+	// resident marks that the flight is counted in the contention model's
+	// per-node residency (cleared when the count is released).
+	resident bool
 }
 
 // EventRecord captures one fault occurrence (or recovery) and the
@@ -68,6 +72,38 @@ type EventRecord struct {
 	finalized bool
 }
 
+// ContentionConfig configures the opt-in link/channel contention model:
+// instead of every flight teleporting one hop per step, concurrent flights
+// arbitrate for directed links (and downstream router buffers) and wait in
+// place when they lose, which is what turns the engine into a
+// load-measurement instrument (latency-throughput curves, saturation).
+type ContentionConfig struct {
+	// LinkRate is the service rate of every directed link: how many
+	// messages may cross it per step. Values < 1 mean 1.
+	LinkRate int
+	// NodeCapacity caps the flights resident at one node (the router's
+	// input-queue depth): a flight may not move onto a node already
+	// holding that many, and injection at a full source is refused
+	// (Admit). 0 means unbounded buffering.
+	NodeCapacity int
+}
+
+// contention is the engine's per-step arbitration state. served/dirty
+// implement an O(active links) per-step reset: served is indexed by
+// directed link (node*2n + dir) and only the entries touched this step —
+// recorded in dirty — are cleared, so a contention step allocates nothing
+// and never scans the full link array.
+type contention struct {
+	enabled bool
+	cfg     ContentionConfig
+
+	served   []int32 // crossings granted per directed link this step
+	dirty    []int32 // link indexes with served != 0
+	resident []int32 // active flights currently at each node
+	numDirs  int32
+	gateFn   route.Gate // bound method value, built once at enable
+}
+
 // Engine drives one simulation.
 type Engine struct {
 	Model  *core.Model
@@ -90,6 +126,8 @@ type Engine struct {
 	// reallocating flight, message, or record objects.
 	spareFlights []*Flight
 	spareEvents  []*EventRecord
+
+	ctn contention
 }
 
 // New builds an engine over a model with the given λ (rounds of information
@@ -107,6 +145,100 @@ func New(md *core.Model, lambda int, sched *fault.Schedule) *Engine {
 // StepCount returns the current step number.
 func (e *Engine) StepCount() int { return e.step }
 
+// EnableContention switches the engine into contention mode with the given
+// configuration. Buffers are sized for the model's mesh on first enable
+// and reused afterwards; enabling mid-run restarts the arbitration state
+// with the current flights' positions.
+func (e *Engine) EnableContention(cfg ContentionConfig) {
+	if cfg.LinkRate < 1 {
+		cfg.LinkRate = 1
+	}
+	c := &e.ctn
+	c.cfg = cfg
+	c.enabled = true
+	n := e.Model.M.NumNodes()
+	c.numDirs = int32(e.Model.M.Shape().NumDirs())
+	if len(c.served) != n*int(c.numDirs) {
+		c.served = make([]int32, n*int(c.numDirs))
+	}
+	if len(c.resident) != n {
+		c.resident = make([]int32, n)
+	}
+	if c.gateFn == nil {
+		c.gateFn = e.gate
+	}
+	e.resetContention()
+	for _, f := range e.flights {
+		f.resident = !f.Msg.Done()
+		if f.resident {
+			c.resident[f.Msg.Cur]++
+		}
+	}
+}
+
+// DisableContention returns the engine to the contention-free model,
+// keeping the buffers for a later re-enable.
+func (e *Engine) DisableContention() { e.ctn.enabled = false }
+
+// ContentionEnabled reports whether the contention model is active.
+func (e *Engine) ContentionEnabled() bool { return e.ctn.enabled }
+
+// Resident returns the number of active flights currently at the node
+// (contention mode only; 0 otherwise).
+func (e *Engine) Resident(id grid.NodeID) int {
+	if !e.ctn.enabled {
+		return 0
+	}
+	return int(e.ctn.resident[id])
+}
+
+// Admit reports whether a new flight may be injected at src under the
+// configured node capacity. Without contention (or with unbounded
+// capacity) every injection is admitted.
+func (e *Engine) Admit(src grid.NodeID) bool {
+	c := &e.ctn
+	if !c.enabled || c.cfg.NodeCapacity <= 0 {
+		return true
+	}
+	return int(c.resident[src]) < c.cfg.NodeCapacity
+}
+
+// resetContention clears the arbitration counters without resizing.
+func (e *Engine) resetContention() {
+	c := &e.ctn
+	for _, li := range c.dirty {
+		c.served[li] = 0
+	}
+	c.dirty = c.dirty[:0]
+	for i := range c.resident {
+		c.resident[i] = 0
+	}
+}
+
+// gate implements route.Gate: a traversal is granted while the link has
+// service budget left this step and the destination router has buffer
+// space. Flights are polled in injection order (the order e.flights
+// preserves), so each directed link behaves as an age-ordered FIFO: the
+// oldest waiting flight wins the next grant — deterministically.
+func (e *Engine) gate(from grid.NodeID, dir grid.Dir) bool {
+	c := &e.ctn
+	li := int32(from)*c.numDirs + int32(dir)
+	if c.served[li] >= int32(c.cfg.LinkRate) {
+		return false
+	}
+	if c.cfg.NodeCapacity > 0 {
+		if to := e.Model.M.Neighbor(from, dir); to != grid.InvalidNode &&
+			int(c.resident[to]) >= c.cfg.NodeCapacity {
+			return false
+		}
+	}
+	if c.served[li] == 0 {
+		c.dirty = append(c.dirty, li)
+	}
+	c.served[li]++
+	return true
+}
+
 // Reset rewinds the engine to step 0 for a new trial on the same model: the
 // schedule cursor returns to the first event, flights and event records are
 // recycled into the free lists. The model itself is reset separately
@@ -115,7 +247,7 @@ func (e *Engine) StepCount() int { return e.step }
 // Flights and event records handed out before Reset are recycled and MUST
 // NOT be read afterwards — consume results before resetting.
 func (e *Engine) Reset() {
-	e.ClearFlights()
+	e.ClearFlights() // also clears contention residency/service counters
 	e.spareEvents = append(e.spareEvents, e.Events...)
 	e.Events = e.Events[:0]
 	e.evIdx = 0
@@ -129,6 +261,35 @@ func (e *Engine) Reset() {
 func (e *Engine) ClearFlights() {
 	e.spareFlights = append(e.spareFlights, e.flights...)
 	e.flights = e.flights[:0]
+	if e.ctn.enabled {
+		e.resetContention()
+	}
+}
+
+// DetachDone removes every terminated flight from the active list —
+// preserving the injection order of the rest, which the contention
+// arbitration depends on — calling fn (may be nil) for each before the
+// flight is recycled into the free list. Load runs call it every step so
+// the active list stays proportional to the in-flight population and
+// delivered flights release their router buffer slot; the detached Flight
+// must not be retained after fn returns.
+func (e *Engine) DetachDone(fn func(*Flight)) {
+	kept := e.flights[:0]
+	for _, f := range e.flights {
+		if !f.Msg.Done() {
+			kept = append(kept, f)
+			continue
+		}
+		if e.ctn.enabled && f.resident {
+			e.ctn.resident[f.Msg.Cur]--
+			f.resident = false
+		}
+		if fn != nil {
+			fn(f)
+		}
+		e.spareFlights = append(e.spareFlights, f)
+	}
+	e.flights = kept
 }
 
 // Inject adds a routing message from src to dst under the given router,
@@ -161,6 +322,10 @@ func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
 			StartStep: e.step,
 		}
 	}
+	f.resident = e.ctn.enabled
+	if f.resident {
+		e.ctn.resident[src]++
+	}
 	e.flights = append(e.flights, f)
 	return f, nil
 }
@@ -185,10 +350,32 @@ func (e *Engine) Step() {
 	}
 
 	// 3-5. Message reception, routing decision, message sending: one hop
-	// per step for every active flight.
-	for _, f := range e.flights {
-		if !f.Msg.Done() {
-			route.Advance(&f.Ctx, f.Router, f.Msg)
+	// per step for every active flight. Under contention, each step opens
+	// with a fresh link-service budget and flights are polled in injection
+	// order, so links are granted oldest-first; a flight that loses
+	// arbitration waits in place and re-decides next step.
+	if e.ctn.enabled {
+		c := &e.ctn
+		for _, li := range c.dirty {
+			c.served[li] = 0
+		}
+		c.dirty = c.dirty[:0]
+		for _, f := range e.flights {
+			if f.Msg.Done() {
+				continue
+			}
+			before := f.Msg.Cur
+			route.AdvanceGated(&f.Ctx, f.Router, f.Msg, c.gateFn)
+			if cur := f.Msg.Cur; cur != before && f.resident {
+				c.resident[before]--
+				c.resident[cur]++
+			}
+		}
+	} else {
+		for _, f := range e.flights {
+			if !f.Msg.Done() {
+				route.Advance(&f.Ctx, f.Router, f.Msg)
+			}
 		}
 	}
 	e.step++

@@ -105,8 +105,9 @@ type Message struct {
 
 	// Hops counts every link traversal (forward and backward); Backtracks
 	// counts the backward ones. Steps counts decision steps including
-	// waits.
-	Hops, Backtracks, Steps int
+	// waits. Waits counts the steps a contention gate stalled the message
+	// (always 0 outside contention mode).
+	Hops, Backtracks, Steps, Waits int
 
 	// Arrived, Unreachable, Lost are the terminal states. Lost marks the
 	// pathological dynamic case where the backtrack target itself failed.
@@ -132,7 +133,7 @@ func (msg *Message) Reset(src, dst grid.NodeID) {
 	msg.Incoming = grid.InvalidDir
 	msg.path = msg.path[:0]
 	clear(msg.used)
-	msg.Hops, msg.Backtracks, msg.Steps = 0, 0, 0
+	msg.Hops, msg.Backtracks, msg.Steps, msg.Waits = 0, 0, 0, 0
 	msg.Arrived, msg.Unreachable, msg.Lost = false, false, false
 }
 
@@ -161,10 +162,28 @@ func (msg *Message) String() string {
 		msg.Src, msg.Dst, msg.Cur, state, msg.Hops, msg.Backtracks, msg.Steps)
 }
 
+// Gate arbitrates one link traversal under the contention model: it is
+// asked whether the message at `from` may cross the directed link along
+// `dir` this step. Returning false stalls the message for the step (its
+// header is untouched; it makes a fresh decision next step). A nil Gate
+// grants every traversal — the contention-free model.
+type Gate func(from grid.NodeID, dir grid.Dir) bool
+
 // Advance performs one step of the routing process: one decision and one
 // hop (Figure 7's routing decision + message sending). It returns true if
 // the message is still in flight afterwards.
 func Advance(ctx *Context, r Router, msg *Message) bool {
+	return AdvanceGated(ctx, r, msg, nil)
+}
+
+// AdvanceGated is Advance under link arbitration: the decision is made
+// normally, but the chosen traversal (forward or backward) only executes
+// if the gate grants the link; otherwise the message waits in place. The
+// decision itself is not committed to the header on a stall, so a waiting
+// message re-decides next step against fresh status and information — a
+// stalled preferred direction can be abandoned for a spare if the fault
+// picture changes while queued.
+func AdvanceGated(ctx *Context, r Router, msg *Message, gate Gate) bool {
 	if msg.Done() {
 		return false
 	}
@@ -179,8 +198,19 @@ func Advance(ctx *Context, r Router, msg *Message) bool {
 		msg.Unreachable = true
 		return false
 	case d.Backtrack:
+		if gate != nil && msg.PathLen() > 0 {
+			prev := msg.path[len(msg.path)-1]
+			if !gate(msg.Cur, dirBetween(ctx.M, msg.Cur, prev)) {
+				msg.Waits++
+				return true
+			}
+		}
 		msg.applyBacktrack(ctx)
 	case d.Move:
+		if gate != nil && !gate(msg.Cur, d.Dir) {
+			msg.Waits++
+			return true
+		}
 		msg.applyMove(ctx, d.Dir)
 	}
 	if msg.Cur == msg.Dst {

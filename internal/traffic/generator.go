@@ -1,0 +1,41 @@
+package traffic
+
+import (
+	"ndmesh/internal/grid"
+	"ndmesh/internal/rng"
+)
+
+// Generator produces one step's worth of open-loop injections: for every
+// node, the arrival process decides how many messages the node offers and
+// the pattern picks each message's destination. All randomness flows
+// through the single stream handed to New, drawn in node order, so a
+// generator is a deterministic function of (shape, pattern, process, rate,
+// stream) — the property the saturation sweep's serial/parallel equality
+// rests on.
+type Generator struct {
+	shape *grid.Shape
+	pat   Pattern
+	proc  Process
+	rate  float64
+	r     *rng.Source
+}
+
+// NewGenerator builds a generator; it resets the process for the shape.
+func NewGenerator(shape *grid.Shape, pat Pattern, proc Process, rate float64, r *rng.Source) *Generator {
+	proc.Reset(shape.NumNodes())
+	return &Generator{shape: shape, pat: pat, proc: proc, rate: rate, r: r}
+}
+
+// Step emits this step's injections in node order. The emit callback owns
+// admission (inject, drop, count); the generator only offers traffic.
+func (g *Generator) Step(emit func(src, dst grid.NodeID)) {
+	n := g.shape.NumNodes()
+	for node := 0; node < n; node++ {
+		k := g.proc.Arrivals(node, g.rate, g.r)
+		for j := 0; j < k; j++ {
+			src := grid.NodeID(node)
+			dst := g.pat.Dest(src, g.r)
+			emit(src, dst)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package traffic
+
+import (
+	"ndmesh/internal/stats"
+)
+
+// Phases splits a load run into the standard three windows of synthetic
+// NoC evaluation: Warmup steps fill the network to steady state (flights
+// injected here are routed but not measured), Measure steps are the
+// observation window (flights injected here produce the statistics), and
+// Drain steps stop injection and let measured flights finish so the
+// latency sample is not censored toward short flights.
+type Phases struct {
+	Warmup, Measure, Drain int
+}
+
+// Total returns the run length in steps.
+func (p Phases) Total() int { return p.Warmup + p.Measure + p.Drain }
+
+// InjectUntil returns the first step with injection disabled (drain start).
+func (p Phases) InjectUntil() int { return p.Warmup + p.Measure }
+
+// Measured reports whether a flight injected at step belongs to the
+// measurement window.
+func (p Phases) Measured(step int) bool {
+	return step >= p.Warmup && step < p.Warmup+p.Measure
+}
+
+// Outcome is the terminal classification of one flight.
+type Outcome uint8
+
+const (
+	// Delivered flights arrived at their destination.
+	Delivered Outcome = iota
+	// Unreachable flights exhausted the search (no enabled path found).
+	Unreachable
+	// Lost flights died on a path segment that failed under them.
+	Lost
+	// Unfinished flights were still in flight when the run's step budget
+	// (including the drain) ran out — at saturation the backlog never
+	// drains, and these count against accepted throughput.
+	Unfinished
+)
+
+// Collector accumulates one load run's per-flight observations into a
+// LoadPoint. All counters partition by injection step: only flights
+// injected inside the measurement window enter the statistics, exactly as
+// the warmup/measure/drain methodology prescribes.
+type Collector struct {
+	ph Phases
+
+	// All counters restrict to flights offered/injected inside the
+	// measurement window; warmup and drain traffic shapes the network but
+	// is not accounted.
+	OfferedMeasured, InjectedMeasured  int
+	DroppedMeasured                    int
+	deliveredMeasured, unreachMeasured int
+	lostMeasured, unfinishedMeasured   int
+
+	latencies []int // of measured delivered flights
+}
+
+// Reset rewinds the collector for a run with the given phases, keeping the
+// latency sample's capacity.
+func (c *Collector) Reset(ph Phases) {
+	lat := c.latencies[:0]
+	*c = Collector{ph: ph, latencies: lat}
+}
+
+// Offer records one offered endpoint pair at the given step; accepted
+// reports whether it was actually injected (false = dropped at the source:
+// full input queue or bad node).
+func (c *Collector) Offer(step int, accepted bool) {
+	if !c.ph.Measured(step) {
+		return
+	}
+	c.OfferedMeasured++
+	if accepted {
+		c.InjectedMeasured++
+	} else {
+		c.DroppedMeasured++
+	}
+}
+
+// Finish records one flight's terminal state: the step it was injected,
+// its latency in steps (ignored unless Delivered), and its outcome.
+func (c *Collector) Finish(startStep, latency int, oc Outcome) {
+	if !c.ph.Measured(startStep) {
+		return
+	}
+	switch oc {
+	case Delivered:
+		c.deliveredMeasured++
+		c.latencies = append(c.latencies, latency)
+	case Unreachable:
+		c.unreachMeasured++
+	case Lost:
+		c.lostMeasured++
+	case Unfinished:
+		c.unfinishedMeasured++
+	}
+}
+
+// Result folds the run into a LoadPoint for a mesh of numNodes sources
+// offered the given per-node rate.
+func (c *Collector) Result(rate float64, numNodes int) LoadPoint {
+	pt := LoadPoint{
+		OfferedRate: rate,
+		Offered:     c.OfferedMeasured,
+		Injected:    c.InjectedMeasured,
+		Dropped:     c.DroppedMeasured,
+		Delivered:   c.deliveredMeasured,
+		Unreachable: c.unreachMeasured,
+		Lost:        c.lostMeasured,
+		Unfinished:  c.unfinishedMeasured,
+		Latency:     Summarize(c.latencies),
+	}
+	if steps := c.ph.Measure * numNodes; steps > 0 {
+		pt.AcceptedRate = float64(pt.Delivered) / float64(steps)
+	}
+	return pt
+}
+
+// LoadPoint is one point of a latency-throughput curve: the offered load
+// and what the network actually did with the measurement-window traffic.
+type LoadPoint struct {
+	// OfferedRate is the nominal injection rate (messages/node/step);
+	// AcceptedRate is Delivered over the measurement window's node-steps.
+	// Below saturation the two track each other; past it AcceptedRate
+	// plateaus while latency (and Unfinished) grows.
+	OfferedRate, AcceptedRate float64
+	// Offered = Injected + Dropped; the remaining counters classify the
+	// injected flights' outcomes. All restrict to the measurement window.
+	Offered, Injected, Dropped               int
+	Delivered, Unreachable, Lost, Unfinished int
+	// Latency summarizes the delivered measured flights' step counts.
+	Latency LatencySummary
+}
+
+// LatencySummary condenses a latency sample (steps from injection to
+// delivery, waits included) into the headline order statistics.
+type LatencySummary struct {
+	Mean          float64
+	P50, P95, P99 int
+	Max           int
+	N             int
+}
+
+// Summarize computes the summary of a latency sample.
+func Summarize(samples []int) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	var sum stats.Summary
+	for _, v := range samples {
+		sum.AddInt(v)
+	}
+	qs := stats.Percentiles(samples, 0.50, 0.95, 0.99)
+	return LatencySummary{
+		Mean: sum.Mean(),
+		P50:  qs[0],
+		P95:  qs[1],
+		P99:  qs[2],
+		Max:  int(sum.Max()),
+		N:    len(samples),
+	}
+}

@@ -1,0 +1,330 @@
+package ndmesh
+
+// This file is the load-generation face of the simulator: it drives the
+// contention-mode engine with internal/traffic's open-loop injection
+// patterns through the warmup/measure/drain methodology and emits
+// latency-throughput curves (E19). SaturationSweep fans the (pattern, rate,
+// router) grid across the parallel experiment engine under the same
+// determinism contract as every other sweep: per-job rng streams are split
+// serially in job order, each job writes only its own result slot, and
+// aggregation is a serial pass — so the output is byte-identical for every
+// worker count.
+
+import (
+	"fmt"
+
+	"ndmesh/internal/engine"
+	"ndmesh/internal/fault"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/mesh"
+	"ndmesh/internal/par"
+	"ndmesh/internal/rng"
+	"ndmesh/internal/route"
+	"ndmesh/internal/traffic"
+)
+
+// SaturationOptions configures a saturation sweep: the cross product of
+// Patterns x Rates x Routers, each cell one contention-mode load run.
+type SaturationOptions struct {
+	// Dims is the mesh shape; Lambda the information rounds per step.
+	Dims   []int
+	Lambda int
+	// Routers, Patterns and Rates span the sweep grid. Pattern names:
+	// uniform | transpose | complement | bitrev | hotspot | neighbor.
+	Routers  []string
+	Patterns []string
+	Rates    []float64
+	// Process is the arrival process: bernoulli (default) | poisson |
+	// bursty.
+	Process string
+	// Warmup/Measure/Drain are the phase lengths in steps.
+	Warmup, Measure, Drain int
+	// LinkRate is the per-directed-link service rate (messages/step,
+	// default 1); NodeCapacity the per-node input-queue depth (0 =
+	// unbounded).
+	LinkRate, NodeCapacity int
+	// Faults > 0 overlays a dynamic fault schedule (FaultInterval steps
+	// apart, clustered into one block when Clustered) on every run.
+	Faults, FaultInterval int
+	Clustered             bool
+	// Workers is the parallel fan-out width; < 1 means GOMAXPROCS. The
+	// results are identical for every value.
+	Workers int
+}
+
+// DefaultSaturation returns the standard configuration: an 8x8 mesh,
+// Bernoulli arrivals, uniform + transpose patterns, the limited router,
+// rates from deep underload to past saturation.
+func DefaultSaturation() SaturationOptions {
+	return SaturationOptions{
+		Dims:     []int{8, 8},
+		Lambda:   1,
+		Routers:  []string{"limited"},
+		Patterns: []string{"uniform", "transpose"},
+		Rates:    []float64{0.02, 0.05, 0.1, 0.2, 0.35, 0.5},
+		Process:  "bernoulli",
+		Warmup:   64,
+		Measure:  256,
+		Drain:    256,
+		LinkRate: 1,
+	}
+}
+
+// SaturationRow is one latency-throughput point: a (pattern, rate, router)
+// cell's measurement-window statistics.
+type SaturationRow struct {
+	Dims    string
+	Pattern string
+	Router  string
+	// OfferedRate is the nominal injection rate (messages/node/step);
+	// AcceptedRate what was actually delivered per node-step.
+	OfferedRate, AcceptedRate float64
+	// Offered = Injected + Dropped (source-queue refusals); Delivered /
+	// Unreachable / Lost / Unfinished classify the injected flights.
+	Offered, Injected, Dropped               int
+	Delivered, Unreachable, Lost, Unfinished int
+	// LatMean/P50/P95/P99/Max summarize delivered-flight latency in steps
+	// (queueing waits included).
+	LatMean                float64
+	LatP50, LatP95, LatP99 int
+	LatMax                 int
+}
+
+// SaturationSweep runs the latency-throughput grid with all available
+// cores.
+func SaturationSweep(opt SaturationOptions, seed uint64) ([]SaturationRow, error) {
+	opt.Workers = 0
+	return saturationSweep(opt, seed)
+}
+
+// SaturationSweepWorkers is SaturationSweep with an explicit worker count
+// (each (pattern, rate, router) cell is one parallel job).
+func SaturationSweepWorkers(opt SaturationOptions, seed uint64, workers int) ([]SaturationRow, error) {
+	opt.Workers = workers
+	return saturationSweep(opt, seed)
+}
+
+func saturationSweep(opt SaturationOptions, seed uint64) ([]SaturationRow, error) {
+	if err := validateSaturation(&opt); err != nil {
+		return nil, err
+	}
+	shape, err := grid.NewShape(opt.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	// One job per (pattern, rate, router) cell, pattern-major — the order
+	// the rows are reported in and the order the job streams are split in.
+	jobs := len(opt.Patterns) * len(opt.Rates) * len(opt.Routers)
+	rngs := splitN(seed, jobs)
+	rows := make([]SaturationRow, jobs)
+	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
+		pi := j / (len(opt.Rates) * len(opt.Routers))
+		ri := j / len(opt.Routers) % len(opt.Rates)
+		ki := j % len(opt.Routers)
+		pt, err := p.loadPoint(opt, opt.Patterns[pi], opt.Routers[ki], opt.Rates[ri], rngs[j])
+		if err != nil {
+			return err
+		}
+		rows[j] = SaturationRow{
+			Dims:         shape.String(),
+			Pattern:      opt.Patterns[pi],
+			Router:       opt.Routers[ki],
+			OfferedRate:  pt.OfferedRate,
+			AcceptedRate: pt.AcceptedRate,
+			Offered:      pt.Offered,
+			Injected:     pt.Injected,
+			Dropped:      pt.Dropped,
+			Delivered:    pt.Delivered,
+			Unreachable:  pt.Unreachable,
+			Lost:         pt.Lost,
+			Unfinished:   pt.Unfinished,
+			LatMean:      pt.Latency.Mean,
+			LatP50:       pt.Latency.P50,
+			LatP95:       pt.Latency.P95,
+			LatP99:       pt.Latency.P99,
+			LatMax:       pt.Latency.Max,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func validateSaturation(opt *SaturationOptions) error {
+	if len(opt.Routers) == 0 || len(opt.Patterns) == 0 || len(opt.Rates) == 0 {
+		return fmt.Errorf("ndmesh: saturation sweep needs at least one router, pattern and rate")
+	}
+	if opt.Measure < 1 {
+		return fmt.Errorf("ndmesh: saturation sweep needs a measurement window (Measure >= 1)")
+	}
+	if opt.Warmup < 0 || opt.Drain < 0 {
+		return fmt.Errorf("ndmesh: negative phase lengths (warmup %d, drain %d)", opt.Warmup, opt.Drain)
+	}
+	// Reject rates the arrival process cannot offer faithfully: past its
+	// MaxRate the realized load silently clips and the curve's offered-rate
+	// axis would lie (a Bernoulli source caps at 1 msg/node/step, a bursty
+	// one at its duty cycle).
+	proc, err := traffic.ProcessByName(opt.Process)
+	if err != nil {
+		return err
+	}
+	for _, rate := range opt.Rates {
+		if rate <= 0 {
+			return fmt.Errorf("ndmesh: injection rate %v must be positive", rate)
+		}
+		if max := proc.MaxRate(); rate > max {
+			return fmt.Errorf("ndmesh: rate %v exceeds what the %s process can offer (max %v msgs/node/step); use a lower rate or the poisson process",
+				rate, proc.Name(), max)
+		}
+	}
+	if opt.Lambda < 1 {
+		opt.Lambda = 1
+	}
+	if opt.LinkRate < 1 {
+		opt.LinkRate = 1
+	}
+	return nil
+}
+
+// loadPoint executes one contention-mode load run on a pooled simulation:
+// open-loop injection for warmup+measure steps, then a drain window, with
+// terminated flights harvested (and recycled) every step.
+func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate float64, r *rng.Source) (traffic.LoadPoint, error) {
+	sim, err := p.get(opt.Dims, opt.Lambda)
+	if err != nil {
+		return traffic.LoadPoint{}, err
+	}
+	shape := sim.gridShape()
+	if opt.Faults > 0 {
+		interval := opt.FaultInterval
+		if interval < 1 {
+			interval = 1
+		}
+		sched, err := fault.Generate(shape, opt.Faults, fault.Options{
+			Interval:  interval,
+			Start:     2,
+			Clustered: opt.Clustered,
+		}, r)
+		if err != nil {
+			return traffic.LoadPoint{}, err
+		}
+		setSchedule(sim, sched)
+	}
+	pat, err := traffic.ByName(shape, pattern)
+	if err != nil {
+		return traffic.LoadPoint{}, err
+	}
+	proc, err := traffic.ProcessByName(opt.Process)
+	if err != nil {
+		return traffic.LoadPoint{}, err
+	}
+	rtr, err := route.ByName(router)
+	if err != nil {
+		return traffic.LoadPoint{}, err
+	}
+
+	eng := sim.eng()
+	eng.EnableContention(engine.ContentionConfig{
+		LinkRate:     opt.LinkRate,
+		NodeCapacity: opt.NodeCapacity,
+	})
+	gen := traffic.NewGenerator(shape, pat, proc, rate, r)
+	ph := traffic.Phases{Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain}
+	var col traffic.Collector
+	col.Reset(ph)
+
+	fab := sim.fabric()
+	var injectErr error
+	step := 0
+	emit := func(src, dst grid.NodeID) {
+		if injectErr != nil {
+			return
+		}
+		// Source-queue admission: a faulty/disabled source cannot inject,
+		// and a full input queue refuses the message (both are drops — the
+		// open loop does not retry).
+		if fab.Status(src) != mesh.Enabled || !eng.Admit(src) {
+			col.Offer(step, false)
+			return
+		}
+		fl, err := eng.Inject(src, dst, rtr)
+		if err != nil {
+			injectErr = err
+			return
+		}
+		fl.Ctx.Policy = sim.routePolicy()
+		col.Offer(step, true)
+	}
+	harvest := func(fl *engine.Flight) {
+		oc := traffic.Unfinished
+		switch {
+		case fl.Msg.Arrived:
+			oc = traffic.Delivered
+		case fl.Msg.Unreachable:
+			oc = traffic.Unreachable
+		case fl.Msg.Lost:
+			oc = traffic.Lost
+		}
+		col.Finish(fl.StartStep, fl.Msg.Steps, oc)
+	}
+
+	total := ph.Total()
+	for ; step < total; step++ {
+		if step < ph.InjectUntil() {
+			gen.Step(emit)
+			if injectErr != nil {
+				return traffic.LoadPoint{}, injectErr
+			}
+		}
+		eng.Step()
+		eng.DetachDone(harvest)
+	}
+	// Whatever survived the drain is unfinished backlog.
+	for _, fl := range eng.Flights() {
+		if !fl.Msg.Done() {
+			col.Finish(fl.StartStep, fl.Msg.Steps, traffic.Unfinished)
+		}
+	}
+	eng.DisableContention()
+	return col.Result(rate, shape.NumNodes()), nil
+}
+
+// LoadOptions configures a single one-shot load run.
+type LoadOptions struct {
+	Dims                   []int
+	Lambda                 int
+	Router                 string
+	Pattern                string
+	Process                string
+	Rate                   float64
+	Warmup, Measure, Drain int
+	LinkRate, NodeCapacity int
+	Faults, FaultInterval  int
+	Clustered              bool
+	Seed                   uint64
+}
+
+// LoadRun executes one contention-mode load run and returns its
+// latency-throughput point — the single-cell convenience entry for
+// library callers who want one point, not a sweep (cmd/loadgen always
+// goes through SaturationSweepWorkers, even for one cell; the two paths
+// produce identical points, pinned by TestLoadRunMatchesSweepCell).
+func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
+	sopt := SaturationOptions{
+		Dims: opt.Dims, Lambda: opt.Lambda,
+		Routers: []string{opt.Router}, Patterns: []string{opt.Pattern},
+		Rates: []float64{opt.Rate}, Process: opt.Process,
+		Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
+		LinkRate: opt.LinkRate, NodeCapacity: opt.NodeCapacity,
+		Faults: opt.Faults, FaultInterval: opt.FaultInterval,
+		Clustered: opt.Clustered,
+	}
+	if err := validateSaturation(&sopt); err != nil {
+		return traffic.LoadPoint{}, err
+	}
+	pool := newSimPool()
+	r := rng.New(opt.Seed).Split() // match the sweep's per-job stream derivation
+	return pool.loadPoint(sopt, opt.Pattern, opt.Router, opt.Rate, r)
+}

@@ -1,0 +1,244 @@
+package ndmesh
+
+import (
+	"reflect"
+	"testing"
+)
+
+// smallSaturation is a quick grid used by the determinism and behavior
+// tests: two patterns, three rates, one router on a 6x6 mesh.
+func smallSaturation() SaturationOptions {
+	opt := DefaultSaturation()
+	opt.Dims = []int{6, 6}
+	opt.Patterns = []string{"uniform", "hotspot"}
+	opt.Rates = []float64{0.05, 0.2, 0.5}
+	opt.Warmup, opt.Measure, opt.Drain = 16, 48, 64
+	opt.NodeCapacity = 4
+	return opt
+}
+
+// TestParallelSaturationSweepDeterministic extends the repository's
+// determinism contract to the load subsystem: byte-identical rows for
+// every worker count (run under -race in CI to certify the fan-out shares
+// no mutable state).
+func TestParallelSaturationSweepDeterministic(t *testing.T) {
+	opt := smallSaturation()
+	serial, err := SaturationSweepWorkers(opt, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parWorkerCounts {
+		got, err := SaturationSweepWorkers(opt, 42, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d:\n got %+v\nwant %+v", w, got, serial)
+		}
+	}
+}
+
+// TestSaturationCurveMonotone is the acceptance criterion of the traffic
+// subsystem: on a fault-free 8x8 mesh, latency rises with injection rate
+// and accepted throughput saturates (plateaus below the offered rate).
+// The run is deterministic, so exact comparisons are safe.
+func TestSaturationCurveMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation curve run is a few hundred thousand flight-steps")
+	}
+	opt := DefaultSaturation()
+	opt.Patterns = []string{"uniform"}
+	opt.Rates = []float64{0.05, 0.2, 0.5, 0.9}
+	rows, err := SaturationSweep(opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(opt.Rates) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(opt.Rates))
+	}
+	for i, r := range rows {
+		if r.Delivered == 0 {
+			t.Fatalf("rate %.2f delivered nothing", r.OfferedRate)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := rows[i-1]
+		if r.LatMean < prev.LatMean {
+			t.Errorf("latency not monotone: %.2f@%.2f < %.2f@%.2f",
+				r.LatMean, r.OfferedRate, prev.LatMean, prev.OfferedRate)
+		}
+		if r.AcceptedRate < prev.AcceptedRate {
+			t.Errorf("accepted throughput decreased: %.3f@%.2f < %.3f@%.2f",
+				r.AcceptedRate, r.OfferedRate, prev.AcceptedRate, prev.OfferedRate)
+		}
+	}
+	// Under deep underload the network accepts what is offered...
+	lo := rows[0]
+	if diff := lo.AcceptedRate - lo.OfferedRate; diff > 0.02 || diff < -0.02 {
+		t.Errorf("underload accepted %.3f, offered %.3f", lo.AcceptedRate, lo.OfferedRate)
+	}
+	// ... and past saturation it cannot: backlog survives the drain and
+	// the accepted rate falls short of the offered rate.
+	hi := rows[len(rows)-1]
+	if hi.Unfinished == 0 {
+		t.Errorf("rate %.2f left no backlog: not saturated", hi.OfferedRate)
+	}
+	if hi.AcceptedRate >= hi.OfferedRate {
+		t.Errorf("rate %.2f accepted %.3f: contention did not bind", hi.OfferedRate, hi.AcceptedRate)
+	}
+	// Queueing visibly separates the extremes.
+	if hi.LatMean < 2*lo.LatMean {
+		t.Errorf("saturated latency %.2f not clearly above underload %.2f", hi.LatMean, lo.LatMean)
+	}
+}
+
+// TestSaturationTransposePlateau pins the plateau on the bisection-bound
+// pattern: past saturation, offering 2.5x more transpose traffic changes
+// the accepted throughput by only a few percent while the backlog grows.
+func TestSaturationTransposePlateau(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation plateau run is a few hundred thousand flight-steps")
+	}
+	opt := DefaultSaturation()
+	opt.Patterns = []string{"transpose"}
+	opt.Rates = []float64{0.35, 0.9}
+	rows, err := SaturationSweep(opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rows[0], rows[1]
+	ratio := b.AcceptedRate / a.AcceptedRate
+	if ratio > 1.15 || ratio < 0.85 {
+		t.Errorf("no plateau: accepted %.3f@%.2f vs %.3f@%.2f", a.AcceptedRate, a.OfferedRate,
+			b.AcceptedRate, b.OfferedRate)
+	}
+	if b.Unfinished <= a.Unfinished {
+		t.Errorf("backlog did not grow past saturation: %d vs %d", a.Unfinished, b.Unfinished)
+	}
+}
+
+// TestSaturationWithFaults checks the fault overlay composes with load:
+// the run completes, delivers traffic, and the schedule actually fired.
+func TestSaturationWithFaults(t *testing.T) {
+	opt := smallSaturation()
+	opt.Patterns = []string{"uniform"}
+	opt.Rates = []float64{0.1}
+	opt.Faults = 3
+	opt.FaultInterval = 10
+	rows, err := SaturationSweep(opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Delivered == 0 {
+		t.Fatal("no traffic delivered under faults")
+	}
+	// With faults some flights may be dropped at dead sources, refused or
+	// lost; the accounting must still balance.
+	r := rows[0]
+	if r.Offered != r.Injected+r.Dropped {
+		t.Fatalf("offer accounting broken: %+v", r)
+	}
+	if r.Injected < r.Delivered+r.Unreachable+r.Lost+r.Unfinished {
+		t.Fatalf("outcome accounting exceeds injections: %+v", r)
+	}
+}
+
+// TestSaturationPatternsRun sanity-checks every pattern and process end to
+// end on an asymmetric mesh (the generators must keep endpoints in shape).
+func TestSaturationPatternsRun(t *testing.T) {
+	for _, proc := range []string{"bernoulli", "poisson", "bursty"} {
+		opt := SaturationOptions{
+			Dims:     []int{4, 6, 3},
+			Routers:  []string{"limited"},
+			Patterns: []string{"uniform", "transpose", "complement", "bitrev", "hotspot", "neighbor"},
+			Rates:    []float64{0.15},
+			Process:  proc,
+			Warmup:   8, Measure: 24, Drain: 32,
+			LinkRate: 1, NodeCapacity: 2,
+		}
+		rows, err := SaturationSweep(opt, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", proc, err)
+		}
+		for _, r := range rows {
+			if r.Delivered == 0 {
+				t.Errorf("%s/%s delivered nothing", proc, r.Pattern)
+			}
+		}
+	}
+}
+
+// TestSaturationRejectsUnofferableRates pins the honesty check: rates the
+// arrival process would silently clip are rejected up front, so the
+// offered-rate axis of a curve never lies.
+func TestSaturationRejectsUnofferableRates(t *testing.T) {
+	opt := smallSaturation()
+	opt.Rates = []float64{1.5} // a Bernoulli source caps at 1
+	if _, err := SaturationSweep(opt, 1); err == nil {
+		t.Error("bernoulli at rate 1.5 should be rejected")
+	}
+	opt.Rates = []float64{0.5} // the default bursty duty cycle is 0.25
+	opt.Process = "bursty"
+	if _, err := SaturationSweep(opt, 1); err == nil {
+		t.Error("bursty at rate 0.5 should be rejected")
+	}
+	opt.Rates = []float64{1.5} // poisson batches arrivals: any rate is fine
+	opt.Process = "poisson"
+	opt.Patterns = []string{"uniform"}
+	if _, err := SaturationSweep(opt, 1); err != nil {
+		t.Errorf("poisson at rate 1.5 should run: %v", err)
+	}
+	opt.Warmup = -8 // negative phases would widen the measurement window
+	if _, err := SaturationSweep(opt, 1); err == nil {
+		t.Error("negative warmup should be rejected")
+	}
+}
+
+// TestLoadRunMatchesSweepCell pins LoadRun (the cmd/loadgen path) to the
+// sweep: a one-cell sweep and LoadRun with the same parameters produce the
+// same point.
+func TestLoadRunMatchesSweepCell(t *testing.T) {
+	opt := smallSaturation()
+	opt.Patterns = []string{"uniform"}
+	opt.Rates = []float64{0.2}
+	rows, err := SaturationSweepWorkers(opt, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := LoadRun(LoadOptions{
+		Dims: opt.Dims, Lambda: opt.Lambda, Router: "limited", Pattern: "uniform",
+		Process: opt.Process, Rate: 0.2,
+		Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
+		LinkRate: opt.LinkRate, NodeCapacity: opt.NodeCapacity, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if pt.Delivered != r.Delivered || pt.AcceptedRate != r.AcceptedRate ||
+		pt.Latency.Mean != r.LatMean || pt.Latency.P99 != r.LatP99 {
+		t.Fatalf("LoadRun diverged from sweep cell:\n load  %+v\n sweep %+v", pt, r)
+	}
+}
+
+// TestSimulationRouteUnaffectedByContention guards the existing facade:
+// a plain Route on a fresh simulation (no contention) is identical before
+// and after the traffic subsystem existed — single flights never contend.
+func TestSimulationRouteUnaffectedByContention(t *testing.T) {
+	sim := MustSimulation(Config{Dims: []int{10, 10}})
+	if err := sim.GenerateFaults(FaultPlan{Faults: 3, Interval: 8, Start: 2, Seed: 4,
+		Avoid: []Coord{C(1, 1), C(8, 8)}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Route(C(1, 1), C(8, 8), "limited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Arrived {
+		t.Fatalf("route failed: %+v", res)
+	}
+	if res.Hops < res.D0 {
+		t.Fatalf("hops %d below distance %d", res.Hops, res.D0)
+	}
+}
