@@ -496,6 +496,53 @@ func BenchmarkContentionStep(b *testing.B) {
 	}
 }
 
+// BenchmarkCongestedContentionStep (E20a) is BenchmarkContentionStep with
+// the congestion-aware router: the same standing population arbitrating
+// for links, but every stalled flight consulting the LoadView (residency +
+// link pending) before re-deciding. The delta against
+// BenchmarkContentionStep is the price of load awareness; the path must
+// stay at 0 allocs/op (asserted by TestCongestedStepAllocFree and pinned
+// in BENCH_03.json).
+func BenchmarkCongestedContentionStep(b *testing.B) {
+	sim := MustSimulation(Config{Dims: []int{16, 16}})
+	eng := sim.eng()
+	eng.EnableContention(engine.ContentionConfig{LinkRate: 1, NodeCapacity: 4})
+	shape := sim.gridShape()
+	r := rng.New(1)
+	type pair struct{ src, dst grid.NodeID }
+	pairs := make([]pair, 24)
+	for i := range pairs {
+		s, d := traffic.DrawLongHaulPair(shape, r)
+		pairs[i] = pair{s, d}
+	}
+	inject := func() {
+		for _, p := range pairs {
+			if _, err := eng.Inject(p.src, p.dst, route.Congested{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	inject()
+	for i := 0; i < 64; i++ {
+		eng.Step()
+		eng.DetachDone(nil)
+		if len(eng.Flights()) == 0 {
+			inject()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+		eng.DetachDone(nil)
+		if len(eng.Flights()) == 0 {
+			b.StopTimer()
+			inject()
+			b.StartTimer()
+		}
+	}
+}
+
 // BenchmarkSaturationPoint (E19b) times one full latency-throughput point
 // — warmup, measurement and drain of an 8x8 uniform-random Bernoulli run
 // near saturation — and reports its headline quantities.

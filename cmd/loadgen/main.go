@@ -12,6 +12,7 @@
 //	loadgen -dims 8x8 -rates 0.1 -patterns uniform
 //	loadgen -dims 8x8 -rates 0.02,0.05,0.1,0.2,0.35 -patterns uniform,transpose
 //	loadgen -dims 8x8 -rates 0.1,0.3 -routers limited,blind -faults 4 -interval 40
+//	loadgen -dims 8x8 -rates 0.2,0.3,0.4 -routers limited,congested -capacity 8
 //	loadgen -dims 6x6x6 -rates 0.05 -patterns hotspot -process bursty -capacity 4
 package main
 
@@ -22,6 +23,7 @@ import (
 
 	"ndmesh"
 	"ndmesh/internal/cliutil"
+	"ndmesh/internal/route"
 	"ndmesh/internal/stats"
 )
 
@@ -30,7 +32,7 @@ func main() {
 	log.SetPrefix("loadgen: ")
 	var (
 		dimsFlag     = flag.String("dims", "8x8", "mesh dimensions, e.g. 8x8 or 6x6x6")
-		routersFlag  = flag.String("routers", "limited", "comma-separated routers: limited | oracle | blind | dor")
+		routersFlag  = flag.String("routers", "limited", "comma-separated routers: limited | congested | oracle | blind | dor")
 		patternsFlag = flag.String("patterns", "uniform", "comma-separated patterns: uniform | transpose | complement | bitrev | hotspot | neighbor")
 		ratesFlag    = flag.String("rates", "0.1", "comma-separated injection rates (messages/node/step)")
 		process      = flag.String("process", "bernoulli", "arrival process: bernoulli | poisson | bursty")
@@ -40,6 +42,9 @@ func main() {
 		drain        = flag.Int("drain", 256, "drain steps (no injection)")
 		linkRate     = flag.Int("link-rate", 1, "messages a directed link serves per step")
 		capacity     = flag.Int("capacity", 0, "per-node input-queue depth (0 = unbounded)")
+		margin       = flag.Int("margin", 1, "congested router: load advantage required to leave the baseline pick")
+		nodeWeight   = flag.Int("node-weight", 1, "congested router: weight of downstream node residency (0 disables the signal)")
+		linkWeight   = flag.Int("link-weight", 1, "congested router: weight of directed-link pending depth (0 disables the signal)")
 		faults       = flag.Int("faults", 0, "dynamic faults overlaid on the run (0 = fault-free)")
 		interval     = flag.Int("interval", 40, "steps between fault occurrences")
 		clustered    = flag.Bool("clustered", false, "grow one block instead of scattering faults")
@@ -70,6 +75,7 @@ func main() {
 		Drain:         *drain,
 		LinkRate:      *linkRate,
 		NodeCapacity:  *capacity,
+		Congestion:    route.CongestionConfig{Margin: *margin, NodeWeight: *nodeWeight, LinkWeight: *linkWeight},
 		Faults:        *faults,
 		FaultInterval: *interval,
 		Clustered:     *clustered,

@@ -39,7 +39,7 @@ func main() {
 		interval     = flag.Int("interval", 20, "steps between fault occurrences d_i")
 		start        = flag.Int("start", 2, "step of the first fault t_1")
 		recoverAfter = flag.Int("recover-after", 0, "recover each fault after this many steps (0 = never)")
-		router       = flag.String("router", "limited", "router: limited | oracle | blind | dor")
+		router       = flag.String("router", "limited", "router: limited | congested | oracle | blind | dor")
 		lambda       = flag.Int("lambda", 2, "information rounds per step (λ)")
 		seed         = flag.Uint64("seed", 1, "random seed")
 		srcFlag      = flag.String("src", "", "source coordinate, e.g. 1,1 (default: low corner + 1)")

@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | all")
+		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | congestion | all")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trials  = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -57,10 +57,11 @@ func main() {
 	run("theorems", func() (*stats.Table, error) { return theoremsTable(*seed, *trials, *workers) })
 	run("traffic", func() (*stats.Table, error) { return trafficTable(*seed, *workers) })
 	run("saturation", func() (*stats.Table, error) { return saturationTable(*seed, *workers) })
+	run("congestion", func() (*stats.Table, error) { return congestionTable(*seed, *workers) })
 
 	if *exp != "all" {
 		switch *exp {
-		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic", "saturation":
+		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic", "saturation", "congestion":
 		default:
 			log.Printf("unknown experiment %q", *exp)
 			flag.Usage()
@@ -84,9 +85,30 @@ func trafficTable(seed uint64, workers int) (*stats.Table, error) {
 	return tab, nil
 }
 
+func congestionTable(seed uint64, workers int) (*stats.Table, error) {
+	opt := ndmesh.DefaultCongestionShift()
+	rows, summaries, err := ndmesh.CongestionShiftSweepWorkers(opt, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("E20 congestion shift: 8x8, capacity 8, limited vs congested on identical scenarios",
+		"pattern", "offered", "lim acc", "cong acc", "lim drop", "cong drop", "lim lat", "cong lat", "shift")
+	for _, r := range rows {
+		tab.AddRow(r.Pattern, fmt.Sprintf("%.2f", r.OfferedRate),
+			fmt.Sprintf("%.3f", r.LimitedAccepted), fmt.Sprintf("%.3f", r.CongestedAccepted),
+			r.LimitedDropped, r.CongestedDropped, r.LimitedLatMean, r.CongestedLatMean, "")
+	}
+	for _, s := range summaries {
+		tab.AddRow(s.Pattern, "peak",
+			fmt.Sprintf("%.3f", s.LimitedSatAccepted), fmt.Sprintf("%.3f", s.CongestedSatAccepted),
+			"", "", "", "", fmt.Sprintf("%+.1f%%", s.ShiftPct))
+	}
+	return tab, nil
+}
+
 func saturationTable(seed uint64, workers int) (*stats.Table, error) {
 	opt := ndmesh.DefaultSaturation()
-	opt.Routers = []string{"limited", "blind"}
+	opt.Routers = []string{"limited", "congested", "blind"}
 	opt.Rates = []float64{0.05, 0.15, 0.3}
 	opt.Warmup, opt.Measure, opt.Drain = 32, 128, 128
 	rows, err := ndmesh.SaturationSweepWorkers(opt, seed, workers)

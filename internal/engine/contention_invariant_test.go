@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"ndmesh/internal/core"
+	"ndmesh/internal/fault"
+	"ndmesh/internal/grid"
+	"ndmesh/internal/mesh"
+	"ndmesh/internal/rng"
+	"ndmesh/internal/route"
+)
+
+// TestContentionConservation is the conservation law of the contention
+// model, checked every step over randomized schedules (random shapes,
+// routers, capacities, injection bursts and dynamic fault overlays):
+//
+//   - flights partition exactly: injected == delivered + unreachable +
+//     lost + in-flight, at every step;
+//   - the per-node residency counters sum to the number of live
+//     (not-yet-detached, not-yet-done) flights, and every per-node count
+//     matches a direct census of flight positions.
+//
+// CI runs the package under -race, so the test also certifies the
+// counter bookkeeping involves no hidden shared state.
+func TestContentionConservation(t *testing.T) {
+	for trial := 0; trial < 24; trial++ {
+		trial := trial
+		t.Run(fmt.Sprint("trial", trial), func(t *testing.T) {
+			r := rng.New(uint64(1000 + trial))
+			dims := make([]int, 1+r.Intn(2))
+			for i := range dims {
+				dims[i] = 4 + r.Intn(5)
+			}
+			shape, err := grid.NewShape(dims...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := mesh.New(shape)
+			md := core.New(m)
+
+			// Half the trials overlay a dynamic fault schedule.
+			sched := &fault.Schedule{}
+			if trial%2 == 0 && shape.NumNodes() >= 25 {
+				if s, err := fault.Generate(shape, 2, fault.Options{Interval: 8, Start: 4}, r); err == nil {
+					sched = s
+				}
+			}
+			e := New(md, 1, sched)
+			e.EnableContention(ContentionConfig{
+				LinkRate:     1 + r.Intn(2),
+				NodeCapacity: r.Intn(3) * 4, // 0 (unbounded), 4 or 8
+			})
+
+			routers := []route.Router{route.Limited{}, route.Congested{}, route.Blind{}}
+			var injected, delivered, unreachable, lost int
+			audit := func(step int) {
+				t.Helper()
+				live := 0
+				census := make(map[grid.NodeID]int)
+				for _, f := range e.Flights() {
+					if !f.Msg.Done() {
+						live++
+					}
+					census[f.Msg.Cur]++
+				}
+				if got := injected - delivered - unreachable - lost - live; got != 0 {
+					t.Fatalf("step %d: conservation broken: injected %d != delivered %d + unreachable %d + lost %d + in-flight %d",
+						step, injected, delivered, unreachable, lost, live)
+				}
+				sum := 0
+				for id := 0; id < shape.NumNodes(); id++ {
+					res := e.Resident(grid.NodeID(id))
+					if res != census[grid.NodeID(id)] {
+						t.Fatalf("step %d: node %d residency %d, census %d", step, id, res, census[grid.NodeID(id)])
+					}
+					sum += res
+				}
+				// Done flights are detached (and their residency released)
+				// every step, so the counters must sum to the live count.
+				if sum != live {
+					t.Fatalf("step %d: residency sum %d != live flights %d", step, sum, live)
+				}
+			}
+
+			for step := 0; step < 60; step++ {
+				// A burst of injections at enabled, admitted sources.
+				for k := r.Intn(6); k > 0; k-- {
+					src := grid.NodeID(r.Intn(shape.NumNodes()))
+					dst := grid.NodeID(r.Intn(shape.NumNodes()))
+					if src == dst || m.Status(src) != mesh.Enabled || !e.Admit(src) {
+						continue
+					}
+					if _, err := e.Inject(src, dst, routers[r.Intn(len(routers))]); err != nil {
+						t.Fatal(err)
+					}
+					injected++
+				}
+				e.Step()
+				e.DetachDone(func(f *Flight) {
+					switch {
+					case f.Msg.Arrived:
+						delivered++
+					case f.Msg.Unreachable:
+						unreachable++
+					case f.Msg.Lost:
+						lost++
+					default:
+						t.Fatalf("detached flight not terminal: %v", f.Msg)
+					}
+				})
+				audit(step)
+			}
+		})
+	}
+}
+
+// TestCongestedStepAllocFree extends the steady-state allocation guarantee
+// to the congestion-aware path: a contention step driving congested-router
+// flights — LoadView queries, stall-gated deviation, the pending-counter
+// rotation — performs zero allocations once warm.
+func TestCongestedStepAllocFree(t *testing.T) {
+	e, shape := newContentionEngine(t, 16, ContentionConfig{LinkRate: 1, NodeCapacity: 4})
+	srcs := []grid.Coord{{1, 1}, {1, 2}, {2, 1}, {14, 14}, {13, 14}, {14, 13}}
+	dsts := []grid.Coord{{14, 14}, {14, 13}, {13, 14}, {1, 1}, {2, 1}, {1, 2}}
+	inject := func() {
+		// Crossing bursts from opposite corners guarantee link contention,
+		// stalls, and therefore the adaptive branch.
+		for i := range srcs {
+			if _, err := e.Inject(shape.Index(srcs[i]), shape.Index(dsts[i]), route.Congested{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	inject()
+	for i := 0; i < 200; i++ {
+		e.Step()
+		e.DetachDone(nil)
+		if len(e.Flights()) == 0 {
+			inject()
+		}
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		e.Step()
+		e.DetachDone(nil)
+		if len(e.Flights()) == 0 {
+			inject()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("congested contention step allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestLinkPendingObservesStalls pins the LoadView's link signal: a stall
+// on a directed link this step is visible through LinkPending on the next
+// step, and gone the step after the queue clears.
+func TestLinkPendingObservesStalls(t *testing.T) {
+	e, shape := newContentionEngine(t, 8, ContentionConfig{LinkRate: 1})
+	src := shape.Index(grid.Coord{3, 3})
+	dst := shape.Index(grid.Coord{6, 3})
+	// Three DOR flights on the same +X link: step 1 grants one crossing
+	// and stalls two.
+	for i := 0; i < 3; i++ {
+		if _, err := e.Inject(src, dst, route.DOR{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stall counters rotate at the START of each step, so the view
+	// available to step N's routing decisions — and to external callers
+	// between steps — is the stalls of step N-1. Step 1 stalls two flights;
+	// that becomes visible when step 2 begins.
+	plusX := grid.DirPlus(0)
+	if got := e.LinkPending(src, plusX); got != 0 {
+		t.Fatalf("pending before any step: %d", got)
+	}
+	e.Step() // grants f1, stalls f2 and f3
+	if got := e.LinkPending(src, plusX); got != 0 {
+		t.Fatalf("pending after step 1: %d, want 0 (not yet rotated in)", got)
+	}
+	e.Step() // rotation exposes step 1's stalls; grants f2, stalls f3
+	if got := e.LinkPending(src, plusX); got != 2 {
+		t.Fatalf("pending after step 2: %d, want 2 (step 1's losers)", got)
+	}
+	e.Step() // exposes step 2's single stall; grants f3
+	if got := e.LinkPending(src, plusX); got != 1 {
+		t.Fatalf("pending after step 3: %d, want 1", got)
+	}
+	e.Step() // queue drained: no stalls to expose
+	if got := e.LinkPending(src, plusX); got != 0 {
+		t.Fatalf("pending after step 4: %d, want 0 (queue drained)", got)
+	}
+	// Disabling contention zeroes the view.
+	e.DisableContention()
+	if got := e.LinkPending(src, plusX); got != 0 {
+		t.Fatalf("pending with contention disabled: %d", got)
+	}
+	if got := e.Resident(src); got != 0 {
+		t.Fatalf("residency with contention disabled: %d", got)
+	}
+}

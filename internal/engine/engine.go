@@ -93,16 +93,31 @@ type ContentionConfig struct {
 // directed link (node*2n + dir) and only the entries touched this step —
 // recorded in dirty — are cleared, so a contention step allocates nothing
 // and never scans the full link array.
+//
+// pending/lastPending are the LoadView side of the same scheme: every gate
+// denial is counted against its directed link in pending, and at the start
+// of each step the two arrays swap, so lastPending holds the previous
+// step's stall counts — a stable, step-consistent queueing-pressure signal
+// the Congested router reads through route.LoadView while the current
+// step's denials accumulate separately.
 type contention struct {
 	enabled bool
 	cfg     ContentionConfig
 
-	served   []int32 // crossings granted per directed link this step
-	dirty    []int32 // link indexes with served != 0
-	resident []int32 // active flights currently at each node
-	numDirs  int32
-	gateFn   route.Gate // bound method value, built once at enable
+	served      []int32 // crossings granted per directed link this step
+	dirty       []int32 // link indexes with served != 0
+	pending     []int32 // traversal stalls per directed link this step
+	pendingDty  []int32 // link indexes with pending != 0
+	lastPending []int32 // previous step's stalls (the LinkPending view)
+	lastDty     []int32 // link indexes with lastPending != 0
+	resident    []int32 // active flights currently at each node
+	numDirs     int32
+	gateFn      route.Gate // bound method value, built once at enable
 }
+
+// The engine is the contention model's load view: routers reach Resident
+// and LinkPending through route.Context.Load.
+var _ route.LoadView = (*Engine)(nil)
 
 // Engine drives one simulation.
 type Engine struct {
@@ -160,6 +175,8 @@ func (e *Engine) EnableContention(cfg ContentionConfig) {
 	c.numDirs = int32(e.Model.M.Shape().NumDirs())
 	if len(c.served) != n*int(c.numDirs) {
 		c.served = make([]int32, n*int(c.numDirs))
+		c.pending = make([]int32, n*int(c.numDirs))
+		c.lastPending = make([]int32, n*int(c.numDirs))
 	}
 	if len(c.resident) != n {
 		c.resident = make([]int32, n)
@@ -184,12 +201,25 @@ func (e *Engine) DisableContention() { e.ctn.enabled = false }
 func (e *Engine) ContentionEnabled() bool { return e.ctn.enabled }
 
 // Resident returns the number of active flights currently at the node
-// (contention mode only; 0 otherwise).
+// (contention mode only; 0 otherwise). Together with LinkPending it
+// implements route.LoadView, the load signal congestion-aware routers
+// consult.
 func (e *Engine) Resident(id grid.NodeID) int {
 	if !e.ctn.enabled {
 		return 0
 	}
 	return int(e.ctn.resident[id])
+}
+
+// LinkPending returns how many traversals stalled on the directed link
+// (from, dir) during the previous step — the link's queueing pressure
+// (contention mode only; 0 otherwise). The one-step lag keeps the view
+// consistent for every flight deciding within a step.
+func (e *Engine) LinkPending(from grid.NodeID, dir grid.Dir) int {
+	if !e.ctn.enabled {
+		return 0
+	}
+	return int(e.ctn.lastPending[int32(from)*e.ctn.numDirs+int32(dir)])
 }
 
 // Admit reports whether a new flight may be injected at src under the
@@ -210,6 +240,14 @@ func (e *Engine) resetContention() {
 		c.served[li] = 0
 	}
 	c.dirty = c.dirty[:0]
+	for _, li := range c.pendingDty {
+		c.pending[li] = 0
+	}
+	c.pendingDty = c.pendingDty[:0]
+	for _, li := range c.lastDty {
+		c.lastPending[li] = 0
+	}
+	c.lastDty = c.lastDty[:0]
 	for i := range c.resident {
 		c.resident[i] = 0
 	}
@@ -224,12 +262,12 @@ func (e *Engine) gate(from grid.NodeID, dir grid.Dir) bool {
 	c := &e.ctn
 	li := int32(from)*c.numDirs + int32(dir)
 	if c.served[li] >= int32(c.cfg.LinkRate) {
-		return false
+		return c.deny(li)
 	}
 	if c.cfg.NodeCapacity > 0 {
 		if to := e.Model.M.Neighbor(from, dir); to != grid.InvalidNode &&
 			int(c.resident[to]) >= c.cfg.NodeCapacity {
-			return false
+			return c.deny(li)
 		}
 	}
 	if c.served[li] == 0 {
@@ -237,6 +275,16 @@ func (e *Engine) gate(from grid.NodeID, dir grid.Dir) bool {
 	}
 	c.served[li]++
 	return true
+}
+
+// deny records one stalled traversal on the directed link for next step's
+// LinkPending view and returns false (the gate's denial value).
+func (c *contention) deny(li int32) bool {
+	if c.pending[li] == 0 {
+		c.pendingDty = append(c.pendingDty, li)
+	}
+	c.pending[li]++
+	return false
 }
 
 // Reset rewinds the engine to step 0 for a new trial on the same model: the
@@ -298,7 +346,10 @@ func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
 	if src == dst {
 		return nil, fmt.Errorf("engine: source equals destination")
 	}
-	ctx := route.Context{M: e.Model.M, Policy: route.LowestAxis}
+	// The engine is every flight's load view (route.LoadView): outside
+	// contention mode both signals read zero, so load-aware routers
+	// collapse to their load-oblivious baselines.
+	ctx := route.Context{M: e.Model.M, Load: e, Policy: route.LowestAxis}
 	if _, isBlind := r.(route.Blind); !isBlind {
 		ctx.Store = e.Model.Store
 	}
@@ -310,7 +361,7 @@ func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
 		f.Router = r
 		// Assign context fields individually: the recycled context keeps
 		// its routing scratch buffers (route.Context.coords).
-		f.Ctx.M, f.Ctx.Store, f.Ctx.Policy = ctx.M, ctx.Store, ctx.Policy
+		f.Ctx.M, f.Ctx.Store, f.Ctx.Load, f.Ctx.Policy = ctx.M, ctx.Store, ctx.Load, ctx.Policy
 		f.StartStep = e.step
 		f.DistAt = f.DistAt[:0]
 		f.EventIdxAt = f.EventIdxAt[:0]
@@ -360,6 +411,14 @@ func (e *Engine) Step() {
 			c.served[li] = 0
 		}
 		c.dirty = c.dirty[:0]
+		// Rotate the stall counters: last step's denials become the
+		// LinkPending view for this step's decisions, and the cleared array
+		// starts accumulating this step's denials.
+		for _, li := range c.lastDty {
+			c.lastPending[li] = 0
+		}
+		c.lastPending, c.pending = c.pending, c.lastPending
+		c.lastDty, c.pendingDty = c.pendingDty, c.lastDty[:0]
 		for _, f := range e.flights {
 			if f.Msg.Done() {
 				continue

@@ -1,0 +1,137 @@
+package route
+
+// Congested is the congestion-aware variant of the fault-information-based
+// PCS router: Algorithm 3's fault handling, candidate classes and priority
+// order are preserved exactly, but ties *inside* a class (several equally
+// preferred directions, several spares) are broken by the lightest
+// downstream load instead of the static policy. The load signal comes from
+// Context.Load — the contention engine's per-node residency and
+// per-directed-link pending depth — so the router combines the paper's
+// limited-global fault records with purely local traffic state, in the
+// spirit of adaptive fault-tolerant NoC routing (Stroobant et al.) and
+// fat-tree resiliency routing (Gliksberg et al.).
+//
+// Determinism and fallback are structural:
+//
+//   - With Context.Load == nil the router delegates to Limited verbatim —
+//     decision-for-decision identical (pinned by TestCongestedEqualsLimited*).
+//   - With contention disabled every load reads zero, every candidate ties,
+//     and the hysteresis keeps the baseline pick — again identical.
+//   - Deviating from the baseline requires a strict load advantage of at
+//     least Margin, so equal-load oscillation is impossible and the
+//     decision is a pure function of (mesh, records, header, load view).
+
+import "ndmesh/internal/grid"
+
+// CongestionConfig tunes the congestion-aware tie-breaking. The zero value
+// selects the defaults, so Congested{} is ready to use.
+type CongestionConfig struct {
+	// Margin is the hysteresis threshold: an alternative direction must
+	// beat the baseline (load-oblivious) pick's downstream load score by at
+	// least this much to be taken. Values < 1 mean 1 — a strict advantage
+	// is always required, which is what pins Congested == Limited when all
+	// loads are equal (in particular, all zero).
+	Margin int
+	// NodeWeight and LinkWeight weigh the two load signals in the score
+	// score(d) = NodeWeight*Resident(neighbor(d)) + LinkWeight*LinkPending(u, d).
+	// Values < 0 mean 0; both zero means both default to 1.
+	NodeWeight, LinkWeight int
+	// Eager consults the load on every decision. The default (false) is
+	// stall-gated adaptivity: a message follows Limited's choice verbatim
+	// until it personally loses a link arbitration (Message.Stalled), and
+	// only then deviates to the lightest alternative. Stall-gating keeps
+	// underloaded traffic byte-identical to Limited and avoids the classic
+	// minimal-adaptive pathology of noise-driven deviation concentrating
+	// uniform traffic; eager mode reacts earlier under smooth asymmetric
+	// load at the price of that pathology.
+	Eager bool
+}
+
+// norm returns the config with defaults applied.
+func (c CongestionConfig) norm() CongestionConfig {
+	if c.Margin < 1 {
+		c.Margin = 1
+	}
+	if c.NodeWeight < 0 {
+		c.NodeWeight = 0
+	}
+	if c.LinkWeight < 0 {
+		c.LinkWeight = 0
+	}
+	if c.NodeWeight == 0 && c.LinkWeight == 0 {
+		c.NodeWeight, c.LinkWeight = 1, 1
+	}
+	return c
+}
+
+// Congested is Limited with load-aware tie-breaking; see the file comment.
+type Congested struct {
+	Cfg CongestionConfig
+}
+
+// Name implements Router.
+func (Congested) Name() string { return "congested" }
+
+// Decide implements Router.
+func (c Congested) Decide(ctx *Context, msg *Message) Decision {
+	if ctx.Load == nil || (!c.Cfg.Eager && !msg.Stalled()) {
+		return Limited{}.Decide(ctx, msg)
+	}
+	cl, bad := classifyLimited(ctx, msg)
+	if bad {
+		return backtrackOrFail(msg)
+	}
+	cfg := c.Cfg.norm()
+	if len(cl.preferred) > 0 {
+		base := pickPreferred(ctx, cl.preferred, cl.uc, cl.dc)
+		return Decision{Move: true, Dir: lightest(ctx, cfg, msg.Cur, cl.preferred, base)}
+	}
+	if len(cl.spares) > 0 {
+		base := pickSpare(ctx, cl.spares, cl.recs, cl.uc)
+		return Decision{Move: true, Dir: lightest(ctx, cfg, msg.Cur, cl.spares, base)}
+	}
+	if len(cl.demoted) > 0 {
+		base := pickPreferred(ctx, cl.demoted, cl.uc, cl.dc)
+		return Decision{Move: true, Dir: lightest(ctx, cfg, msg.Cur, cl.demoted, base)}
+	}
+	return backtrackOrFail(msg)
+}
+
+// loadScore is the downstream congestion estimate of moving from u along d:
+// the occupancy of the next router's input queue plus the queueing pressure
+// observed on the link itself last step.
+func loadScore(ctx *Context, cfg CongestionConfig, u grid.NodeID, d grid.Dir) int {
+	score := 0
+	if cfg.NodeWeight != 0 {
+		score += cfg.NodeWeight * ctx.Load.Resident(ctx.M.Neighbor(u, d))
+	}
+	if cfg.LinkWeight != 0 {
+		score += cfg.LinkWeight * ctx.Load.LinkPending(u, d)
+	}
+	return score
+}
+
+// lightest breaks the tie among one priority class: it keeps the baseline
+// (Limited's) pick unless some alternative's load score undercuts it by at
+// least cfg.Margin. dirs is in ascending direction order (classifyLimited
+// builds it that way), so strict improvement suffices for the
+// lowest-index-wins determinism among equally light alternatives.
+func lightest(ctx *Context, cfg CongestionConfig, u grid.NodeID, dirs []grid.Dir, base grid.Dir) grid.Dir {
+	if len(dirs) == 1 {
+		return base
+	}
+	baseScore := loadScore(ctx, cfg, u, base)
+	best, bestScore := base, baseScore
+	for _, d := range dirs {
+		if d == base {
+			continue
+		}
+		if s := loadScore(ctx, cfg, u, d); s < bestScore {
+			best, bestScore = d, s
+		}
+	}
+	if best != base && baseScore-bestScore >= cfg.Margin {
+		return best
+	}
+	return base
+}

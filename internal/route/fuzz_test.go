@@ -1,0 +1,131 @@
+package route
+
+import (
+	"testing"
+
+	"ndmesh/internal/grid"
+	"ndmesh/internal/rng"
+)
+
+// fuzzLoad is a deterministic synthetic LoadView: load values are a pure
+// hash of (salt, node/link), so the congested router sees arbitrary but
+// stable congestion landscapes — including large and lopsided ones — that
+// no engine run would produce, which is exactly what the fuzz target wants.
+type fuzzLoad struct{ salt uint64 }
+
+func (l fuzzLoad) mix(a, b uint64) int {
+	x := l.salt ^ a*0x9E3779B97F4A7C15 ^ b*0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	x *= 0x94D049BB133111EB
+	x ^= x >> 32
+	return int(x % 256)
+}
+
+func (l fuzzLoad) Resident(id grid.NodeID) int { return l.mix(uint64(id), 1) }
+func (l fuzzLoad) LinkPending(from grid.NodeID, dir grid.Dir) int {
+	return l.mix(uint64(from), 40+uint64(dir)) % 16
+}
+
+// fuzzRouters are the routers under fuzz: every decision they emit must be
+// legal regardless of mesh shape, fault placement or load landscape.
+func fuzzRouters() []Router {
+	return []Router{
+		Limited{},
+		Congested{},
+		Congested{Cfg: CongestionConfig{Eager: true, Margin: 2}},
+		Congested{Cfg: CongestionConfig{NodeWeight: 3, LinkWeight: 1}},
+		Blind{},
+		DOR{},
+	}
+}
+
+// FuzzRouterDecision drives one full routing episode on a random mesh with
+// random stabilized faults, a random synthetic load landscape and (when
+// gated) a pseudo-random contention gate, validating every decision before
+// it is applied:
+//
+//   - a Move decision must name an on-mesh direction not yet used at the
+//     current node (illegal directions and used-direction revisits are the
+//     two corruption modes of Algorithm 3's header discipline);
+//   - a Backtrack decision requires a non-empty path stack;
+//   - no decision may panic;
+//   - with static faults a message must never end Lost (Lost is reserved
+//     for dynamic failures under the path).
+//
+// `go test` runs the seeded corpus below on every CI run; `go test
+// -fuzz=FuzzRouterDecision ./internal/route` explores from there.
+func FuzzRouterDecision(f *testing.F) {
+	for _, seed := range []uint64{1, 7, 42, 1234, 99999} {
+		for routerIdx := uint8(0); routerIdx < 6; routerIdx++ {
+			f.Add(seed, seed*3+11, routerIdx, routerIdx%2 == 0)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed, loadSalt uint64, routerIdx uint8, gated bool) {
+		r := rng.New(seed)
+		// Random mixed-radix shape: 1-3 dimensions, radices 3-6 (interior
+		// nodes exist, node count stays small enough for CI).
+		dims := make([]int, 1+r.Intn(3))
+		for i := range dims {
+			dims[i] = 3 + r.Intn(4)
+		}
+		shape := grid.MustShape(dims...)
+		// Random interior faults (the paper's model keeps the outermost
+		// surface fault-free).
+		var faults []grid.Coord
+		for i := r.Intn(1 + shape.NumNodes()/8); i > 0; i-- {
+			c := make(grid.Coord, len(dims))
+			for a, k := range dims {
+				c[a] = 1 + r.Intn(k-2)
+			}
+			faults = append(faults, c)
+		}
+		ctx, m := env(t, dims, faults)
+		ctx.Load = fuzzLoad{salt: loadSalt}
+		if r.Bool(0.25) {
+			ctx.Policy = LargestOffset
+		}
+		src, dst := randomPair(m, r)
+		if src == grid.InvalidNode {
+			t.Skip("no enabled pair")
+		}
+		rt := fuzzRouters()[int(routerIdx)%len(fuzzRouters())]
+		var gate Gate
+		if gated {
+			// Deterministic pseudo-random gate: denial exercises the stall
+			// flag and the congested router's adaptive branch.
+			step := 0
+			gate = func(from grid.NodeID, dir grid.Dir) bool {
+				step++
+				return (uint64(from)*31+uint64(dir)*7+uint64(step)*13+seed)%4 != 0
+			}
+		}
+
+		msg := NewMessage(src, dst)
+		budget := 16*shape.Diameter() + 4*shape.NumNodes() + 64
+		for i := 0; i < budget && !msg.Done(); i++ {
+			if msg.Cur != msg.Dst {
+				d := rt.Decide(ctx, msg)
+				switch {
+				case d.Move:
+					if d.Dir < 0 || int(d.Dir) >= shape.NumDirs() {
+						t.Fatalf("%s: direction %d out of range at node %d", rt.Name(), d.Dir, msg.Cur)
+					}
+					if m.Neighbor(msg.Cur, d.Dir) == grid.InvalidNode {
+						t.Fatalf("%s: off-mesh direction %v at node %d", rt.Name(), d.Dir, msg.Cur)
+					}
+					if msg.Used(msg.Cur).Has(d.Dir) {
+						t.Fatalf("%s: revisited used direction %v at node %d", rt.Name(), d.Dir, msg.Cur)
+					}
+				case d.Backtrack:
+					if msg.PathLen() == 0 {
+						t.Fatalf("%s: backtrack with empty path at node %d", rt.Name(), msg.Cur)
+					}
+				}
+			}
+			AdvanceGated(ctx, rt, msg, gate)
+		}
+		if msg.Lost {
+			t.Fatalf("%s: message lost under static faults: %v", rt.Name(), msg)
+		}
+	})
+}

@@ -14,6 +14,11 @@
 //     model" extreme (routing tables at every node).
 //   - DOR: plain dimension-order (e-cube) routing, the fault-intolerant
 //     baseline: it fails on the first bad node in its way.
+//   - Congested: Limited with congestion-aware tie-breaking — among the
+//     fault-safe directions of equal Algorithm 3 priority it prefers the
+//     one with the lightest downstream load (Context.Load), the first
+//     router whose decisions are dynamic in traffic, not just in faults
+//     (see congested.go).
 //
 // Routing messages advance one hop per step of the execution model; the
 // Decide/Apply split lets the engine interleave decisions with the λ
@@ -40,12 +45,30 @@ const (
 	LargestOffset
 )
 
+// LoadView exposes the traffic state a congestion-aware router may consult
+// next to the fault records: per-node residency (how many messages occupy a
+// router's input queue) and per-directed-link pending depth (how many
+// traversals stalled on the link last step). Both are node-local signals —
+// a router only ever queries its own node and its immediate neighbors, so
+// the information model stays limited. The engine's contention mode
+// implements it; outside contention mode both signals are zero, which makes
+// every load-aware tie-break collapse to its load-oblivious baseline.
+type LoadView interface {
+	// Resident returns the number of active messages at the node.
+	Resident(id grid.NodeID) int
+	// LinkPending returns how many traversals stalled on the directed link
+	// (from, dir) during the previous step — the link's queueing pressure.
+	LinkPending(from grid.NodeID, dir grid.Dir) int
+}
+
 // Context is the information a router may consult: the fabric (one-hop
 // status sensing is always allowed), the node-local record store (nil for
-// the blind router), and the policy.
+// the blind router), the load view (nil or zero outside contention mode),
+// and the policy.
 type Context struct {
 	M      *mesh.Mesh
 	Store  *info.Store
+	Load   LoadView
 	Policy Policy
 
 	// ucBuf/dcBuf/wcBuf are reusable coordinate buffers and prefBuf/
@@ -109,6 +132,14 @@ type Message struct {
 	// (always 0 outside contention mode).
 	Hops, Backtracks, Steps, Waits int
 
+	// stalled records that the most recent step was a gate denial: the
+	// message wanted a link and lost arbitration. Congestion-aware routers
+	// use it as the adaptivity trigger — a message deviates from the
+	// load-oblivious choice only after personally experiencing blocking,
+	// which keeps underloaded routing byte-identical to Limited and stops
+	// noise-driven herding. Always false outside contention mode.
+	stalled bool
+
 	// Arrived, Unreachable, Lost are the terminal states. Lost marks the
 	// pathological dynamic case where the backtrack target itself failed.
 	Arrived, Unreachable, Lost bool
@@ -134,8 +165,13 @@ func (msg *Message) Reset(src, dst grid.NodeID) {
 	msg.path = msg.path[:0]
 	clear(msg.used)
 	msg.Hops, msg.Backtracks, msg.Steps, msg.Waits = 0, 0, 0, 0
+	msg.stalled = false
 	msg.Arrived, msg.Unreachable, msg.Lost = false, false, false
 }
+
+// Stalled reports whether the message's most recent step was a contention
+// stall (it lost link arbitration and waited in place).
+func (msg *Message) Stalled() bool { return msg.stalled }
 
 // Done reports whether the message reached a terminal state.
 func (msg *Message) Done() bool { return msg.Arrived || msg.Unreachable || msg.Lost }
@@ -202,16 +238,20 @@ func AdvanceGated(ctx *Context, r Router, msg *Message, gate Gate) bool {
 			prev := msg.path[len(msg.path)-1]
 			if !gate(msg.Cur, dirBetween(ctx.M, msg.Cur, prev)) {
 				msg.Waits++
+				msg.stalled = true
 				return true
 			}
 		}
 		msg.applyBacktrack(ctx)
+		msg.stalled = false
 	case d.Move:
 		if gate != nil && !gate(msg.Cur, d.Dir) {
 			msg.Waits++
+			msg.stalled = true
 			return true
 		}
 		msg.applyMove(ctx, d.Dir)
+		msg.stalled = false
 	}
 	if msg.Cur == msg.Dst {
 		msg.Arrived = true
@@ -283,10 +323,41 @@ func (Limited) Name() string { return "limited" }
 //  3. With no unused outgoing direction, backtrack.
 //  4. Backtracked to the source with nothing left: unreachable.
 func (Limited) Decide(ctx *Context, msg *Message) Decision {
+	cl, bad := classifyLimited(ctx, msg)
+	if bad {
+		return backtrackOrFail(msg)
+	}
+	if len(cl.preferred) > 0 {
+		return Decision{Move: true, Dir: pickPreferred(ctx, cl.preferred, cl.uc, cl.dc)}
+	}
+	if len(cl.spares) > 0 {
+		return Decision{Move: true, Dir: pickSpare(ctx, cl.spares, cl.recs, cl.uc)}
+	}
+	if len(cl.demoted) > 0 {
+		return Decision{Move: true, Dir: pickPreferred(ctx, cl.demoted, cl.uc, cl.dc)}
+	}
+	return backtrackOrFail(msg)
+}
+
+// classified is the candidate partition of Algorithm 3's step 2: the
+// fault-safe unused outgoing directions split by priority class, plus the
+// coordinate scratch and records the pick functions need. The slices alias
+// the context's reusable buffers and are valid until the next classify call.
+type classified struct {
+	preferred, demoted, spares []grid.Dir
+	uc, dc                     grid.Coord
+	recs                       []info.Record
+}
+
+// classifyLimited runs the candidate classification shared by Limited and
+// Congested: both routers consider exactly the same fault-safe direction
+// classes; they differ only in how ties inside a class are broken. bad
+// reports that the current node itself is disabled/faulty (backtrack case).
+func classifyLimited(ctx *Context, msg *Message) (cl classified, bad bool) {
 	m := ctx.M
 	u := msg.Cur
 	if m.Status(u).Bad() {
-		return backtrackOrFail(msg)
+		return classified{}, true
 	}
 	shape := m.Shape()
 	uc, dc := ctx.coords(u, msg.Dst)
@@ -320,16 +391,8 @@ func (Limited) Decide(ctx *Context, msg *Message) Decision {
 	// Return the (possibly regrown) buffers to the context for reuse.
 	ctx.prefBuf, ctx.demBuf, ctx.spareBuf = preferred, demoted, spares
 
-	if len(preferred) > 0 {
-		return Decision{Move: true, Dir: pickPreferred(ctx, preferred, uc, dc)}
-	}
-	if len(spares) > 0 {
-		return Decision{Move: true, Dir: pickSpare(ctx, spares, recs, uc)}
-	}
-	if len(demoted) > 0 {
-		return Decision{Move: true, Dir: pickPreferred(ctx, demoted, uc, dc)}
-	}
-	return backtrackOrFail(msg)
+	return classified{preferred: preferred, demoted: demoted, spares: spares,
+		uc: uc, dc: dc, recs: recs}, false
 }
 
 func backtrackOrFail(msg *Message) Decision {
@@ -609,6 +672,8 @@ func ByName(name string) (Router, error) {
 	switch name {
 	case "limited":
 		return Limited{}, nil
+	case "congested":
+		return Congested{}, nil
 	case "blind":
 		return Blind{}, nil
 	case "oracle":

@@ -43,6 +43,9 @@ type SaturationOptions struct {
 	// default 1); NodeCapacity the per-node input-queue depth (0 =
 	// unbounded).
 	LinkRate, NodeCapacity int
+	// Congestion tunes the "congested" router's load tie-breaking (zero
+	// value = route.CongestionConfig defaults); other routers ignore it.
+	Congestion route.CongestionConfig
 	// Faults > 0 overlays a dynamic fault schedule (FaultInterval steps
 	// apart, clustered into one block when Clustered) on every run.
 	Faults, FaultInterval int
@@ -224,6 +227,10 @@ func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate 
 	if err != nil {
 		return traffic.LoadPoint{}, err
 	}
+	if cg, ok := rtr.(route.Congested); ok {
+		cg.Cfg = opt.Congestion
+		rtr = cg
+	}
 
 	eng := sim.eng()
 	eng.EnableContention(engine.ContentionConfig{
@@ -301,6 +308,7 @@ type LoadOptions struct {
 	Rate                   float64
 	Warmup, Measure, Drain int
 	LinkRate, NodeCapacity int
+	Congestion             route.CongestionConfig
 	Faults, FaultInterval  int
 	Clustered              bool
 	Seed                   uint64
@@ -318,7 +326,8 @@ func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
 		Rates: []float64{opt.Rate}, Process: opt.Process,
 		Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
 		LinkRate: opt.LinkRate, NodeCapacity: opt.NodeCapacity,
-		Faults: opt.Faults, FaultInterval: opt.FaultInterval,
+		Congestion: opt.Congestion,
+		Faults:     opt.Faults, FaultInterval: opt.FaultInterval,
 		Clustered: opt.Clustered,
 	}
 	if err := validateSaturation(&sopt); err != nil {
