@@ -50,6 +50,7 @@ func main() {
 		clustered    = flag.Bool("clustered", false, "grow one block instead of scattering faults")
 		seed         = flag.Uint64("seed", 1, "random seed")
 		workers      = flag.Int("workers", 0, "parallel cell workers (0 = all CPUs); results are identical for every value")
+		shards       = flag.Int("shards", 1, "intra-step shard workers per cell (big single meshes; results are identical for every value)")
 		csv          = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	flag.Parse()
@@ -79,6 +80,7 @@ func main() {
 		Faults:        *faults,
 		FaultInterval: *interval,
 		Clustered:     *clustered,
+		Shards:        *shards,
 	}
 	rows, err := ndmesh.SaturationSweepWorkers(opt, *seed, *workers)
 	if err != nil {

@@ -31,6 +31,7 @@ func main() {
 		trials  = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs); results are identical for every value")
+		shards  = flag.Int("shards", 1, "intra-step shard workers per load cell (saturation/congestion); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -56,8 +57,8 @@ func main() {
 	run("oscillation", func() (*stats.Table, error) { return oscillationTable(*seed, *trials, *workers) })
 	run("theorems", func() (*stats.Table, error) { return theoremsTable(*seed, *trials, *workers) })
 	run("traffic", func() (*stats.Table, error) { return trafficTable(*seed, *workers) })
-	run("saturation", func() (*stats.Table, error) { return saturationTable(*seed, *workers) })
-	run("congestion", func() (*stats.Table, error) { return congestionTable(*seed, *workers) })
+	run("saturation", func() (*stats.Table, error) { return saturationTable(*seed, *workers, *shards) })
+	run("congestion", func() (*stats.Table, error) { return congestionTable(*seed, *workers, *shards) })
 
 	if *exp != "all" {
 		switch *exp {
@@ -85,8 +86,9 @@ func trafficTable(seed uint64, workers int) (*stats.Table, error) {
 	return tab, nil
 }
 
-func congestionTable(seed uint64, workers int) (*stats.Table, error) {
+func congestionTable(seed uint64, workers, shards int) (*stats.Table, error) {
 	opt := ndmesh.DefaultCongestionShift()
+	opt.Shards = shards
 	rows, summaries, err := ndmesh.CongestionShiftSweepWorkers(opt, seed, workers)
 	if err != nil {
 		return nil, err
@@ -106,11 +108,12 @@ func congestionTable(seed uint64, workers int) (*stats.Table, error) {
 	return tab, nil
 }
 
-func saturationTable(seed uint64, workers int) (*stats.Table, error) {
+func saturationTable(seed uint64, workers, shards int) (*stats.Table, error) {
 	opt := ndmesh.DefaultSaturation()
 	opt.Routers = []string{"limited", "congested", "blind"}
 	opt.Rates = []float64{0.05, 0.15, 0.3}
 	opt.Warmup, opt.Measure, opt.Drain = 32, 128, 128
+	opt.Shards = shards
 	rows, err := ndmesh.SaturationSweepWorkers(opt, seed, workers)
 	if err != nil {
 		return nil, err

@@ -45,6 +45,9 @@ type CongestionShiftOptions struct {
 	// Workers is the parallel fan-out width; < 1 means GOMAXPROCS. The
 	// results are identical for every value.
 	Workers int
+	// Shards is the intra-step shard-worker count per cell run (< 2 means
+	// serial); like Workers, every value yields byte-identical rows.
+	Shards int
 }
 
 // DefaultCongestionShift returns the standard E20 configuration: an 8x8
@@ -126,6 +129,7 @@ func congestionShiftSweep(opt CongestionShiftOptions, seed uint64) ([]Congestion
 		Congestion: opt.Congestion,
 		Faults:     opt.Faults, FaultInterval: opt.FaultInterval,
 		Clustered: opt.Clustered,
+		Shards:    opt.Shards,
 	}
 	if err := validateSaturation(&sopt); err != nil {
 		return nil, nil, err

@@ -39,6 +39,15 @@ type Flight struct {
 	// resident marks that the flight is counted in the contention model's
 	// per-node residency (cleared when the count is released).
 	resident bool
+
+	// stepStable caches route.StepStable(Router) at injection: whether this
+	// flight's decisions may be proposed in parallel by the sharded step.
+	stepStable bool
+	// pd is the decision proposed for this flight by the sharded step's
+	// parallel phase; pdOK marks it valid. The serial commit consumes and
+	// clears it every step.
+	pd   route.Decision
+	pdOK bool
 }
 
 // EventRecord captures one fault occurrence (or recovery) and the
@@ -142,7 +151,8 @@ type Engine struct {
 	spareFlights []*Flight
 	spareEvents  []*EventRecord
 
-	ctn contention
+	ctn    contention
+	shards shardSet
 }
 
 // New builds an engine over a model with the given λ (rounds of information
@@ -342,9 +352,18 @@ func (e *Engine) DetachDone(fn func(*Flight)) {
 
 // Inject adds a routing message from src to dst under the given router,
 // returning its flight. The message takes its first hop at the next Step.
+// Under contention with a finite NodeCapacity, injection at a full source
+// is an error: admitting it would overfill the router's input buffer and
+// break the conservation invariant every gate decision relies on, so
+// callers must check Admit first (the open-loop generators count a refusal
+// as a drop).
 func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
 	if src == dst {
 		return nil, fmt.Errorf("engine: source equals destination")
+	}
+	if !e.Admit(src) {
+		return nil, fmt.Errorf("engine: injection at node %d exceeds capacity %d (resident %d); check Admit before Inject",
+			src, e.ctn.cfg.NodeCapacity, e.ctn.resident[src])
 	}
 	// The engine is every flight's load view (route.LoadView): outside
 	// contention mode both signals read zero, so load-aware routers
@@ -377,6 +396,8 @@ func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
 	if f.resident {
 		e.ctn.resident[src]++
 	}
+	f.stepStable = route.StepStable(r)
+	f.pdOK = false
 	e.flights = append(e.flights, f)
 	return f, nil
 }
@@ -404,7 +425,10 @@ func (e *Engine) Step() {
 	// per step for every active flight. Under contention, each step opens
 	// with a fresh link-service budget and flights are polled in injection
 	// order, so links are granted oldest-first; a flight that loses
-	// arbitration waits in place and re-decides next step.
+	// arbitration waits in place and re-decides next step. With sharding
+	// enabled, the decisions of step-stable flights are proposed in
+	// parallel first; the loop below is the serial commit that consumes
+	// them — same FIFO, byte-identical result (see shard.go).
 	if e.ctn.enabled {
 		c := &e.ctn
 		for _, li := range c.dirty {
@@ -419,12 +443,20 @@ func (e *Engine) Step() {
 		}
 		c.lastPending, c.pending = c.pending, c.lastPending
 		c.lastDty, c.pendingDty = c.pendingDty, c.lastDty[:0]
+		if e.shards.n > 1 {
+			e.propose()
+		}
 		for _, f := range e.flights {
 			if f.Msg.Done() {
 				continue
 			}
 			before := f.Msg.Cur
-			route.AdvanceGated(&f.Ctx, f.Router, f.Msg, c.gateFn)
+			if f.pdOK {
+				f.pdOK = false
+				route.AdvanceDecided(&f.Ctx, f.Msg, f.pd, c.gateFn)
+			} else {
+				route.AdvanceGated(&f.Ctx, f.Router, f.Msg, c.gateFn)
+			}
 			if cur := f.Msg.Cur; cur != before && f.resident {
 				c.resident[before]--
 				c.resident[cur]++

@@ -228,13 +228,49 @@ func AdvanceGated(ctx *Context, r Router, msg *Message, gate Gate) bool {
 		msg.Arrived = true
 		return false
 	}
-	d := r.Decide(ctx, msg)
+	return commitDecision(ctx, msg, r.Decide(ctx, msg), gate)
+}
+
+// AdvanceDecided is AdvanceGated with the routing decision already made:
+// the sharded stepper's parallel phase precomputes step-stable routers'
+// decisions against the frozen step-start state, and the serial commit
+// replays them here in flight-age order. The gate check, the header
+// commit and the terminal transitions are exactly AdvanceGated's, so for
+// a StepStable router AdvanceDecided(ctx, msg, r.Decide(ctx, msg), gate)
+// and AdvanceGated(ctx, r, msg, gate) are byte-identical.
+func AdvanceDecided(ctx *Context, msg *Message, d Decision, gate Gate) bool {
+	if msg.Done() {
+		return false
+	}
+	msg.Steps++
+	if msg.Cur == msg.Dst {
+		msg.Arrived = true
+		return false
+	}
+	return commitDecision(ctx, msg, d, gate)
+}
+
+// commitDecision executes one decision under link arbitration. Every
+// physical link traversal — forward moves and backward moves alike — asks
+// the gate; the one Backtrack shape that crosses no link (an empty path
+// stack, the terminal unreachable transition of applyBacktrack) has
+// nothing to arbitrate and deliberately consults no gate, which
+// TestBacktrackEmptyPathConsultsNoGate pins.
+func commitDecision(ctx *Context, msg *Message, d Decision, gate Gate) bool {
 	switch {
 	case d.Fail:
 		msg.Unreachable = true
 		return false
 	case d.Backtrack:
-		if gate != nil && msg.PathLen() > 0 {
+		if msg.PathLen() == 0 {
+			// Not a traversal: applyBacktrack on an empty stack only marks
+			// the message unreachable, so no link budget may be consumed
+			// and no stall may be recorded.
+			msg.applyBacktrack(ctx)
+			msg.stalled = false
+			return !msg.Done()
+		}
+		if gate != nil {
 			prev := msg.path[len(msg.path)-1]
 			if !gate(msg.Cur, dirBetween(ctx.M, msg.Cur, prev)) {
 				msg.Waits++
@@ -258,6 +294,26 @@ func AdvanceGated(ctx *Context, r Router, msg *Message, gate Gate) bool {
 		return false
 	}
 	return !msg.Done()
+}
+
+// StepStable reports whether r's Decide is a pure function of state frozen
+// for the whole routing phase of a step: the fabric statuses (fault events
+// apply before routing), the record store (information rounds run before
+// routing), the previous step's LinkPending view, and the message's own
+// header. The sharded stepper may precompute such routers' decisions in
+// parallel from the step-start state and commit them serially in flight-age
+// order with results byte-identical to deciding at commit time.
+//
+// Excluded by construction: Congested reads LoadView.Resident, which
+// earlier commits in the same step mutate, and Oracle caches a distance
+// field inside the (shared) router value. Both are decided serially at
+// commit instead — correct at any shard count, just not sped up.
+func StepStable(r Router) bool {
+	switch r.(type) {
+	case Limited, Blind, DOR:
+		return true
+	}
+	return false
 }
 
 func (msg *Message) applyMove(ctx *Context, dir grid.Dir) {

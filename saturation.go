@@ -53,6 +53,12 @@ type SaturationOptions struct {
 	// Workers is the parallel fan-out width; < 1 means GOMAXPROCS. The
 	// results are identical for every value.
 	Workers int
+	// Shards splits each cell's flight population across this many
+	// intra-step shard workers (contention-mode stepping; < 2 means
+	// serial). Orthogonal to Workers — Workers parallelizes across cells,
+	// Shards inside one — and under the same contract: the rows are
+	// byte-identical for every shard count (engine.SetShards).
+	Shards int
 }
 
 // DefaultSaturation returns the standard configuration: an 8x8 mesh,
@@ -188,6 +194,9 @@ func validateSaturation(opt *SaturationOptions) error {
 	if opt.LinkRate < 1 {
 		opt.LinkRate = 1
 	}
+	if opt.Shards < 1 {
+		opt.Shards = 1
+	}
 	return nil
 }
 
@@ -237,6 +246,20 @@ func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate 
 		LinkRate:     opt.LinkRate,
 		NodeCapacity: opt.NodeCapacity,
 	})
+	eng.SetShards(opt.Shards)
+	// Every exit path must hand the pooled engine back clean: past-saturation
+	// cells end the drain with backlog flights still attached and counted in
+	// the residency census, and a persistent or sharded reuse of the engine
+	// would inherit that corrupt state (previously only simPool.get's Reset
+	// rescued the next cell). ClearFlights detaches and recycles the backlog
+	// while contention is still enabled, so resetContention releases every
+	// residency counter; then the shard workers stop and contention turns
+	// off. TestLoadPointLeavesEngineClean pins all three.
+	defer func() {
+		eng.ClearFlights()
+		eng.SetShards(1)
+		eng.DisableContention()
+	}()
 	gen := traffic.NewGenerator(shape, pat, proc, rate, r)
 	ph := traffic.Phases{Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain}
 	var col traffic.Collector
@@ -288,13 +311,13 @@ func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate 
 		eng.Step()
 		eng.DetachDone(harvest)
 	}
-	// Whatever survived the drain is unfinished backlog.
+	// Whatever survived the drain is unfinished backlog (the deferred
+	// cleanup detaches it afterwards).
 	for _, fl := range eng.Flights() {
 		if !fl.Msg.Done() {
 			col.Finish(fl.StartStep, fl.Msg.Steps, traffic.Unfinished)
 		}
 	}
-	eng.DisableContention()
 	return col.Result(rate, shape.NumNodes()), nil
 }
 
@@ -311,7 +334,10 @@ type LoadOptions struct {
 	Congestion             route.CongestionConfig
 	Faults, FaultInterval  int
 	Clustered              bool
-	Seed                   uint64
+	// Shards is the intra-step shard-worker count (< 2 means serial); the
+	// point is byte-identical for every value.
+	Shards int
+	Seed   uint64
 }
 
 // LoadRun executes one contention-mode load run and returns its
@@ -329,6 +355,7 @@ func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
 		Congestion: opt.Congestion,
 		Faults:     opt.Faults, FaultInterval: opt.FaultInterval,
 		Clustered: opt.Clustered,
+		Shards:    opt.Shards,
 	}
 	if err := validateSaturation(&sopt); err != nil {
 		return traffic.LoadPoint{}, err
