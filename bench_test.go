@@ -496,6 +496,49 @@ func BenchmarkContentionStep(b *testing.B) {
 	}
 }
 
+// BenchmarkClosedLoopStep (E21a) measures one step of a closed-loop load
+// run at steady state: the bounded-window source's draws and top-ups, the
+// contention step, and the harvest pass that releases window slots. Like
+// every other load hot path it must stay at 0 allocs/op
+// (TestClosedLoopStepAllocFree; recorded in BENCH_05.json).
+func BenchmarkClosedLoopStep(b *testing.B) {
+	sim := MustSimulation(Config{Dims: []int{16, 16}})
+	eng := sim.eng()
+	eng.EnableContention(engine.ContentionConfig{LinkRate: 1})
+	shape := sim.gridShape()
+	pat, err := traffic.ByName(shape, "uniform")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := traffic.NewClosedLoop(shape, pat, 4, rng.New(1))
+	emit := func(src, dst grid.NodeID) bool {
+		if !eng.Admit(src) {
+			return false
+		}
+		if _, err := eng.Inject(src, dst, route.Limited{}); err != nil {
+			b.Fatal(err)
+		}
+		return true
+	}
+	release := func(fl *engine.Flight) { cl.Release(fl.Msg.Src) }
+	step := func() {
+		cl.Step(emit)
+		eng.Step()
+		eng.DetachDone(release)
+	}
+	// Reach the closed loop's standing population before the timer.
+	for i := 0; i < 256; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cl.InFlight()), "in_flight")
+}
+
 // BenchmarkCongestedContentionStep (E20a) is BenchmarkContentionStep with
 // the congestion-aware router: the same standing population arbitrating
 // for links, but every stalled flight consulting the LoadView (residency +
@@ -543,7 +586,7 @@ func BenchmarkCongestedContentionStep(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedContentionStep (E21a) measures one contention step on a
+// BenchmarkShardedContentionStep (E19c) measures one contention step on a
 // 32x32 mesh with a near-saturation standing flight population, across
 // intra-step shard counts. shards=1 is the serial baseline; the ratio at
 // higher counts is the sharded stepper's per-step speedup on this host
@@ -575,13 +618,14 @@ func BenchmarkShardedContentionStep(b *testing.B) {
 			// growing without bound.
 			gen := traffic.NewGenerator(shape, pat, proc, 0.22, rng.New(1))
 			step := func() {
-				gen.Step(func(src, dst grid.NodeID) {
+				gen.Step(func(src, dst grid.NodeID) bool {
 					if !eng.Admit(src) {
-						return
+						return false
 					}
 					if _, err := eng.Inject(src, dst, route.Limited{}); err != nil {
 						b.Fatal(err)
 					}
+					return true
 				})
 				eng.Step()
 				eng.DetachDone(nil)
@@ -600,7 +644,7 @@ func BenchmarkShardedContentionStep(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedSaturationCell (E21b) times one full 32x32
+// BenchmarkShardedSaturationCell (E19d) times one full 32x32
 // near-saturation load cell — warmup, measurement, drain, collection —
 // end to end at each shard count: the wall-clock number ROADMAP item (b)
 // asks for (one big mesh no longer bound to one core). The rows are

@@ -1,0 +1,184 @@
+package ndmesh
+
+// This file is E21, the closed-loop experiment: instead of offering traffic
+// at a nominal open-loop rate, every node keeps a bounded window of
+// outstanding requests and reinjects only when one terminates
+// (traffic.ClosedLoop). Sweeping the window size traces out the closed-loop
+// analogue of a latency-throughput curve: small windows measure unloaded
+// latency, large windows drive the network to its self-throttled saturation
+// point, and — unlike open-loop injection — the offered load automatically
+// backs off where the network congests, which is how request/reply systems
+// actually behave. The sweep reports the realized injection rate next to
+// the delivered throughput so the self-throttling is visible.
+//
+// Determinism follows the repository contract: one rng stream is split per
+// (pattern, window, router) cell in row order, each job writes only its own
+// result slot, and aggregation is serial — byte-identical for every worker
+// count and every shard count (the closed loop releases window slots from
+// the engine's harvest pass, which runs in flight-injection order).
+
+import (
+	"fmt"
+
+	"ndmesh/internal/grid"
+	"ndmesh/internal/par"
+	"ndmesh/internal/route"
+)
+
+// ClosedLoopOptions configures the E21 grid: the cross product of
+// Patterns x Windows x Routers, each cell one closed-loop load run.
+type ClosedLoopOptions struct {
+	// Dims is the mesh shape; Lambda the information rounds per step.
+	Dims   []int
+	Lambda int
+	// Routers, Patterns and Windows span the sweep grid; Windows is the
+	// per-node outstanding-request bound (the closed loop's load knob).
+	Routers  []string
+	Patterns []string
+	Windows  []int
+	// Warmup/Measure/Drain are the phase lengths in steps.
+	Warmup, Measure, Drain int
+	// LinkRate is the per-directed-link service rate; NodeCapacity the
+	// per-node input-queue depth (0 = unbounded). A finite capacity
+	// exercises the closed loop's defer-and-retry path.
+	LinkRate, NodeCapacity int
+	// Congestion tunes the "congested" router's tie-breaking.
+	Congestion route.CongestionConfig
+	// Faults > 0 overlays a dynamic fault schedule on every run.
+	Faults, FaultInterval int
+	Clustered             bool
+	// Workers is the parallel fan-out width; < 1 means GOMAXPROCS.
+	Workers int
+	// Shards is the intra-step shard-worker count per cell (< 2 means
+	// serial); like Workers, every value yields byte-identical rows.
+	Shards int
+}
+
+// DefaultClosedLoop returns the standard E21 configuration: an 8x8 mesh,
+// uniform + transpose request patterns, the limited router, windows from
+// single-outstanding to deep saturation. Buffers are unbounded: in a closed
+// loop the window itself is the back-pressure (the population is capped at
+// window x N by construction — Little's law), which yields the classic
+// curve of throughput saturating while latency grows linearly with the
+// window. A finite NodeCapacity is still available through the options, but
+// beware what it measures: the backtracking PCS router has no buffer-cycle
+// deadlock avoidance, so windows past the buffer budget gridlock the mesh —
+// deliveries stop and, because a closed loop defers instead of dropping,
+// nothing relieves the cycle (the open-loop analogue is E20's congestion
+// collapse, visible there as exploding drop counts).
+func DefaultClosedLoop() ClosedLoopOptions {
+	return ClosedLoopOptions{
+		Dims:     []int{8, 8},
+		Lambda:   1,
+		Routers:  []string{"limited"},
+		Patterns: []string{"uniform", "transpose"},
+		Windows:  []int{1, 2, 4, 8, 16, 32},
+		Warmup:   64,
+		Measure:  256,
+		Drain:    256,
+		LinkRate: 1,
+	}
+}
+
+// ClosedLoopRow is one (pattern, window, router) cell of the E21 grid.
+type ClosedLoopRow struct {
+	Dims    string
+	Pattern string
+	Router  string
+	// Window is the per-node outstanding-request bound.
+	Window int
+	// InjectedRate is the realized injection rate over the measurement
+	// window (messages/node/step) — the closed loop's self-throttled
+	// offered load; AcceptedRate what was delivered per node-step. The two
+	// converge at steady state: a closed loop cannot outrun its deliveries.
+	InjectedRate, AcceptedRate float64
+	// Injected / Delivered / Unreachable / Lost / Unfinished classify the
+	// measurement-window flights (a closed loop never drops: refusals are
+	// deferred and retried).
+	Injected, Delivered, Unreachable, Lost, Unfinished int
+	// LatMean/P50/P95/P99/Max summarize delivered-flight latency in steps.
+	LatMean                        float64
+	LatP50, LatP95, LatP99, LatMax int
+}
+
+// ClosedLoopSweep runs the E21 window-size grid with all available cores.
+func ClosedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error) {
+	opt.Workers = 0
+	return closedLoopSweep(opt, seed)
+}
+
+// ClosedLoopSweepWorkers is ClosedLoopSweep with an explicit worker count
+// (each (pattern, window, router) cell is one parallel job).
+func ClosedLoopSweepWorkers(opt ClosedLoopOptions, seed uint64, workers int) ([]ClosedLoopRow, error) {
+	opt.Workers = workers
+	return closedLoopSweep(opt, seed)
+}
+
+func closedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error) {
+	if len(opt.Routers) == 0 || len(opt.Patterns) == 0 || len(opt.Windows) == 0 {
+		return nil, fmt.Errorf("ndmesh: closed-loop sweep needs at least one router, pattern and window")
+	}
+	for _, w := range opt.Windows {
+		if w < 1 {
+			return nil, fmt.Errorf("ndmesh: closed-loop window %d must be >= 1", w)
+		}
+	}
+	sopt := SaturationOptions{
+		Dims: opt.Dims, Lambda: opt.Lambda,
+		Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
+		LinkRate: opt.LinkRate, NodeCapacity: opt.NodeCapacity,
+		Congestion: opt.Congestion,
+		Faults:     opt.Faults, FaultInterval: opt.FaultInterval,
+		Clustered: opt.Clustered,
+		Shards:    opt.Shards,
+	}
+	if err := validateLoadShape(&sopt); err != nil {
+		return nil, err
+	}
+	shape, err := grid.NewShape(opt.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	// One job per (pattern, window, router) cell, pattern-major — the order
+	// the rows are reported in and the order the job streams are split in.
+	jobs := len(opt.Patterns) * len(opt.Windows) * len(opt.Routers)
+	rngs := splitN(seed, jobs)
+	rows := make([]ClosedLoopRow, jobs)
+	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
+		pi := j / (len(opt.Windows) * len(opt.Routers))
+		wi := j / len(opt.Routers) % len(opt.Windows)
+		ki := j % len(opt.Routers)
+		window := opt.Windows[wi]
+		pt, err := p.loadPoint(sopt, workload{pattern: opt.Patterns[pi], window: window},
+			opt.Routers[ki], rngs[j])
+		if err != nil {
+			return err
+		}
+		row := ClosedLoopRow{
+			Dims:         shape.String(),
+			Pattern:      opt.Patterns[pi],
+			Router:       opt.Routers[ki],
+			Window:       window,
+			AcceptedRate: pt.AcceptedRate,
+			Injected:     pt.Injected,
+			Delivered:    pt.Delivered,
+			Unreachable:  pt.Unreachable,
+			Lost:         pt.Lost,
+			Unfinished:   pt.Unfinished,
+			LatMean:      pt.Latency.Mean,
+			LatP50:       pt.Latency.P50,
+			LatP95:       pt.Latency.P95,
+			LatP99:       pt.Latency.P99,
+			LatMax:       pt.Latency.Max,
+		}
+		if steps := opt.Measure * shape.NumNodes(); steps > 0 {
+			row.InjectedRate = float64(pt.Injected) / float64(steps)
+		}
+		rows[j] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,11 +1,12 @@
 // loadgen drives the contention-aware traffic subsystem from the command
 // line: open-loop synthetic injection (uniform, transpose, complement,
-// bitrev, hotspot, neighbor) at one or more rates, with per-link service
-// arbitration and optional finite router buffers, through the standard
-// warmup/measure/drain methodology. One row per (pattern, rate, router)
-// cell: accepted throughput, drop/unreachable/lost/unfinished counts and
-// the delivered-latency distribution — a latency-throughput curve when
-// -rates sweeps.
+// bitrev, hotspot, neighbor) at one or more rates, closed-loop
+// bounded-window request workloads (-windows), and deterministic workload
+// traces (-trace-record / -trace-replay), with per-link service arbitration
+// and optional finite router buffers, through the standard
+// warmup/measure/drain methodology. One row per cell: accepted throughput,
+// drop/unreachable/lost/unfinished counts and the delivered-latency
+// distribution — a latency-throughput curve when -rates or -windows sweeps.
 //
 // Examples:
 //
@@ -14,17 +15,22 @@
 //	loadgen -dims 8x8 -rates 0.1,0.3 -routers limited,blind -faults 4 -interval 40
 //	loadgen -dims 8x8 -rates 0.2,0.3,0.4 -routers limited,congested -capacity 8
 //	loadgen -dims 6x6x6 -rates 0.05 -patterns hotspot -process bursty -capacity 4
+//	loadgen -dims 8x8 -windows 1,2,4,8,16 -patterns uniform -capacity 8
+//	loadgen -dims 8x8 -rates 0.2 -patterns uniform -trace-record w.ndwt
+//	loadgen -trace-replay w.ndwt -routers congested -capacity 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"ndmesh"
 	"ndmesh/internal/cliutil"
 	"ndmesh/internal/route"
 	"ndmesh/internal/stats"
+	"ndmesh/internal/traffic"
 )
 
 func main() {
@@ -35,6 +41,7 @@ func main() {
 		routersFlag  = flag.String("routers", "limited", "comma-separated routers: limited | congested | oracle | blind | dor")
 		patternsFlag = flag.String("patterns", "uniform", "comma-separated patterns: uniform | transpose | complement | bitrev | hotspot | neighbor")
 		ratesFlag    = flag.String("rates", "0.1", "comma-separated injection rates (messages/node/step)")
+		windowsFlag  = flag.String("windows", "", "comma-separated closed-loop windows (outstanding requests/node); selects the closed-loop workload and ignores -rates/-process")
 		process      = flag.String("process", "bernoulli", "arrival process: bernoulli | poisson | bursty")
 		lambda       = flag.Int("lambda", 1, "information rounds per step (λ)")
 		warmup       = flag.Int("warmup", 64, "warmup steps (not measured)")
@@ -51,6 +58,8 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "random seed")
 		workers      = flag.Int("workers", 0, "parallel cell workers (0 = all CPUs); results are identical for every value")
 		shards       = flag.Int("shards", 1, "intra-step shard workers per cell (big single meshes; results are identical for every value)")
+		traceRecord  = flag.String("trace-record", "", "record the run's offered workload (single cell only) into this file")
+		traceReplay  = flag.String("trace-replay", "", "replay a recorded workload trace from this file (overrides -dims/-rates/-windows/-patterns/-faults and the phase lengths)")
 		csv          = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	flag.Parse()
@@ -59,16 +68,188 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rates, err := cliutil.ParseRates(*ratesFlag)
+	routers := cliutil.SplitList(*routersFlag)
+	patterns := cliutil.SplitList(*patternsFlag)
+	congestion := route.CongestionConfig{Margin: *margin, NodeWeight: *nodeWeight, LinkWeight: *linkWeight}
+
+	emitTable := func(tab *stats.Table) {
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Print(tab.String())
+		}
+	}
+	pointTable := func(title string, router, workload string, pt traffic.LoadPoint) *stats.Table {
+		tab := stats.NewTable(title,
+			"workload", "router", "offered", "accepted", "delivered", "dropped", "unreach", "lost", "unfin",
+			"lat mean", "p50", "p95", "p99", "max")
+		tab.AddRow(workload, router, fmt.Sprintf("%.3f", pt.OfferedRate), fmt.Sprintf("%.3f", pt.AcceptedRate),
+			pt.Delivered, pt.Dropped, pt.Unreachable, pt.Lost, pt.Unfinished,
+			pt.Latency.Mean, pt.Latency.P50, pt.Latency.P95, pt.Latency.P99, pt.Latency.Max)
+		return tab
+	}
+
+	// Trace replay: the trace is the workload; only the engine-side
+	// configuration (router, contention, λ) is taken from the flags.
+	if *traceReplay != "" {
+		data, err := os.ReadFile(*traceReplay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := traffic.UnmarshalTrace(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(routers) != 1 {
+			log.Fatal("-trace-replay needs exactly one -routers entry")
+		}
+		// Engine-side flags override the trace only when given explicitly
+		// on the command line: the flag *defaults* must not silently
+		// replace the recorded configuration (that was exactly the footgun
+		// the trace records them to close).
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		opt := ndmesh.LoadOptions{
+			Router:     routers[0],
+			Congestion: congestion, Shards: *shards, Seed: *seed,
+			Replay: tr,
+		}
+		if set["lambda"] {
+			opt.Lambda = *lambda
+		}
+		if set["link-rate"] {
+			opt.LinkRate = *linkRate
+		}
+		if set["capacity"] {
+			opt.NodeCapacity = *capacity
+			if *capacity == 0 {
+				// 0 is the flag's "unbounded" value; the library reserves
+				// zero for trace inheritance, so an explicit 0 becomes the
+				// explicit-unbounded sentinel.
+				opt.NodeCapacity = -1
+			}
+		}
+		if *traceRecord != "" {
+			// Re-record the replay: the offered stream and fault schedule
+			// carry over, so the written trace is a standalone equivalent
+			// of the input (useful for normalizing or re-homing traces).
+			opt.Record = &traffic.Trace{}
+		}
+		pt, err := ndmesh.LoadRun(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *traceRecord != "" {
+			if err := os.WriteFile(*traceRecord, opt.Record.Marshal(), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		mode := "open-loop"
+		if tr.ClosedLoop {
+			mode = fmt.Sprintf("closed-loop w=%d", tr.Window)
+		}
+		linkRateEff, capacityEff := tr.LinkRate, tr.NodeCapacity
+		if set["link-rate"] {
+			linkRateEff = *linkRate
+		}
+		if set["capacity"] {
+			capacityEff = *capacity
+		}
+		title := fmt.Sprintf("trace replay: %s (%v, %s, %d offers over %d steps), link-rate=%d, capacity=%d",
+			*traceReplay, tr.Dims, mode, tr.Offers(), tr.Steps(), linkRateEff, capacityEff)
+		emitTable(pointTable(title, routers[0], "trace", pt))
+		return
+	}
+
+	windows, err := cliutil.ParseInts(*windowsFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Trace recording: one live cell, its offered workload captured.
+	if *traceRecord != "" {
+		if len(routers) != 1 || len(patterns) != 1 {
+			log.Fatal("-trace-record needs exactly one router and one pattern")
+		}
+		opt := ndmesh.LoadOptions{
+			Dims: dims, Lambda: *lambda, Router: routers[0], Pattern: patterns[0],
+			Process: *process,
+			Warmup:  *warmup, Measure: *measure, Drain: *drain,
+			LinkRate: *linkRate, NodeCapacity: *capacity,
+			Congestion: congestion,
+			Faults:     *faults, FaultInterval: *interval, Clustered: *clustered,
+			Shards: *shards, Seed: *seed,
+			Record: &traffic.Trace{},
+		}
+		var workload string
+		switch {
+		case len(windows) == 1:
+			opt.Window = windows[0]
+			workload = fmt.Sprintf("%s w=%d", patterns[0], windows[0])
+		case len(windows) > 1:
+			log.Fatal("-trace-record needs exactly one -windows entry")
+		default:
+			rates, err := cliutil.ParseRates(*ratesFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(rates) != 1 {
+				log.Fatal("-trace-record needs exactly one -rates entry")
+			}
+			opt.Rate = rates[0]
+			workload = fmt.Sprintf("%s @%.3f", patterns[0], rates[0])
+		}
+		pt, err := ndmesh.LoadRun(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceRecord, opt.Record.Marshal(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("trace record: %s (%s, %d offers over %d steps), link-rate=%d, capacity=%d, F=%d",
+			*traceRecord, *dimsFlag, opt.Record.Offers(), opt.Record.Steps(), *linkRate, *capacity, *faults)
+		emitTable(pointTable(title, routers[0], workload, pt))
+		return
+	}
+
+	// Closed-loop sweep (E21): windows replace rates as the load knob.
+	if len(windows) > 0 {
+		opt := ndmesh.ClosedLoopOptions{
+			Dims: dims, Lambda: *lambda,
+			Routers: routers, Patterns: patterns, Windows: windows,
+			Warmup: *warmup, Measure: *measure, Drain: *drain,
+			LinkRate: *linkRate, NodeCapacity: *capacity,
+			Congestion: congestion,
+			Faults:     *faults, FaultInterval: *interval, Clustered: *clustered,
+			Shards: *shards,
+		}
+		rows, err := ndmesh.ClosedLoopSweepWorkers(opt, *seed, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("closed loop: %s, link-rate=%d, capacity=%d, F=%d, warmup/measure/drain=%d/%d/%d",
+			*dimsFlag, *linkRate, *capacity, *faults, *warmup, *measure, *drain)
+		tab := stats.NewTable(title,
+			"pattern", "router", "window", "inj rate", "accepted", "delivered", "unreach", "lost", "unfin",
+			"lat mean", "p50", "p95", "p99", "max")
+		for _, r := range rows {
+			tab.AddRow(r.Pattern, r.Router, r.Window, fmt.Sprintf("%.3f", r.InjectedRate), fmt.Sprintf("%.3f", r.AcceptedRate),
+				r.Delivered, r.Unreachable, r.Lost, r.Unfinished,
+				r.LatMean, r.LatP50, r.LatP95, r.LatP99, r.LatMax)
+		}
+		emitTable(tab)
+		return
+	}
+
+	rates, err := cliutil.ParseRates(*ratesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opt := ndmesh.SaturationOptions{
 		Dims:          dims,
 		Lambda:        *lambda,
-		Routers:       cliutil.SplitList(*routersFlag),
-		Patterns:      cliutil.SplitList(*patternsFlag),
+		Routers:       routers,
+		Patterns:      patterns,
 		Rates:         rates,
 		Process:       *process,
 		Warmup:        *warmup,
@@ -76,7 +257,7 @@ func main() {
 		Drain:         *drain,
 		LinkRate:      *linkRate,
 		NodeCapacity:  *capacity,
-		Congestion:    route.CongestionConfig{Margin: *margin, NodeWeight: *nodeWeight, LinkWeight: *linkWeight},
+		Congestion:    congestion,
 		Faults:        *faults,
 		FaultInterval: *interval,
 		Clustered:     *clustered,
@@ -97,9 +278,5 @@ func main() {
 			r.Delivered, r.Dropped, r.Unreachable, r.Lost, r.Unfinished,
 			r.LatMean, r.LatP50, r.LatP95, r.LatP99, r.LatMax)
 	}
-	if *csv {
-		fmt.Print(tab.CSV())
-	} else {
-		fmt.Print(tab.String())
-	}
+	emitTable(tab)
 }

@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | congestion | all")
+		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | congestion | closedloop | all")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trials  = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -59,10 +59,11 @@ func main() {
 	run("traffic", func() (*stats.Table, error) { return trafficTable(*seed, *workers) })
 	run("saturation", func() (*stats.Table, error) { return saturationTable(*seed, *workers, *shards) })
 	run("congestion", func() (*stats.Table, error) { return congestionTable(*seed, *workers, *shards) })
+	run("closedloop", func() (*stats.Table, error) { return closedLoopTable(*seed, *workers, *shards) })
 
 	if *exp != "all" {
 		switch *exp {
-		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic", "saturation", "congestion":
+		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic", "saturation", "congestion", "closedloop":
 		default:
 			log.Printf("unknown experiment %q", *exp)
 			flag.Usage()
@@ -104,6 +105,22 @@ func congestionTable(seed uint64, workers, shards int) (*stats.Table, error) {
 		tab.AddRow(s.Pattern, "peak",
 			fmt.Sprintf("%.3f", s.LimitedSatAccepted), fmt.Sprintf("%.3f", s.CongestedSatAccepted),
 			"", "", "", "", fmt.Sprintf("%+.1f%%", s.ShiftPct))
+	}
+	return tab, nil
+}
+
+func closedLoopTable(seed uint64, workers, shards int) (*stats.Table, error) {
+	opt := ndmesh.DefaultClosedLoop()
+	opt.Shards = shards
+	rows, err := ndmesh.ClosedLoopSweepWorkers(opt, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("E21 closed loop: 8x8, window-size vs delivered throughput/latency (population-limited)",
+		"pattern", "router", "window", "inj rate", "accepted", "delivered", "unfin", "lat mean", "p50", "p99")
+	for _, r := range rows {
+		tab.AddRow(r.Pattern, r.Router, r.Window, fmt.Sprintf("%.3f", r.InjectedRate),
+			fmt.Sprintf("%.3f", r.AcceptedRate), r.Delivered, r.Unfinished, r.LatMean, r.LatP50, r.LatP99)
 	}
 	return tab, nil
 }

@@ -150,7 +150,7 @@ func congestionShiftSweep(opt CongestionShiftOptions, seed uint64) ([]Congestion
 		row := CongestionShiftRow{Dims: shape.String(), Pattern: pattern, OfferedRate: rate}
 		for _, router := range sopt.Routers {
 			stream := *rngs[j] // identical replay for both routers
-			pt, err := p.loadPoint(sopt, pattern, router, rate, &stream)
+			pt, err := p.loadPoint(sopt, workload{pattern: pattern, rate: rate}, router, &stream)
 			if err != nil {
 				return err
 			}

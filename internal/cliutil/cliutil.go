@@ -54,6 +54,21 @@ func SplitList(s string) []string {
 	return out
 }
 
+// ParseInts parses a comma-separated list of positive integers (e.g. the
+// closed-loop -windows flag). An empty/blank string parses to nil, so the
+// flag's presence doubles as the mode switch.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range SplitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q (need a positive integer)", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // ParseRates parses a comma-separated list of positive rates.
 func ParseRates(s string) ([]float64, error) {
 	var rates []float64

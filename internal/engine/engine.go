@@ -10,6 +10,20 @@
 // b_i (identification rounds), c_i (boundary rounds), the number of
 // affected nodes, and samples every in-flight message's distance-to-go D(i)
 // at the occurrence — the inputs of Theorems 3-5.
+//
+// Contracts the rest of the stack builds on:
+//
+//   - Determinism: flights are polled in injection order, so the opt-in
+//     contention model's link arbitration is an age-ordered FIFO with no
+//     goroutine-scheduling dependence, and the intra-step sharded stepper
+//     (SetShards, shard.go) is byte-identical to the serial step at every
+//     shard count — sharding changes wall-clock, never output.
+//   - Reset: Reset rewinds the engine to step 0 recycling flights and
+//     event records into free lists (results handed out earlier must be
+//     consumed first); ClearFlights retires the flight population only;
+//     DetachDone is the per-step harvest. Together with the recycling in
+//     Inject they make the steady-state step 0 allocs/op — asserted by
+//     the Test*AllocFree tests and recorded in the BENCH_*.json baselines.
 package engine
 
 import (

@@ -23,6 +23,18 @@
 // Routing messages advance one hop per step of the execution model; the
 // Decide/Apply split lets the engine interleave decisions with the λ
 // information rounds exactly as Figure 7 prescribes.
+//
+// Contracts: Decide never mutates the message — Advance/AdvanceGated/
+// AdvanceDecided commit a Decision to the header, so a stalled message
+// re-decides against fresh state. Routers are stateless per decision; all
+// scratch lives in the caller-owned Context (coordinate buffers, direction
+// lists, and a node-id-keyed decode cache), valid only during the current
+// Decide call, which keeps the steady-state decision 0 allocs/op. The one
+// exception is Oracle's cached distance field, the reason StepStable
+// excludes it: StepStable(r) certifies that a router's decisions depend
+// only on state frozen for the whole routing phase of a step, the property
+// the engine's sharded stepper needs to precompute decisions in parallel
+// with byte-identical results.
 package route
 
 import (
@@ -78,18 +90,41 @@ type Context struct {
 	// only.
 	ucBuf, dcBuf, wcBuf       grid.Coord
 	prefBuf, spareBuf, demBuf []grid.Dir
+
+	// coordShape/ucID/dcID memoize the decodes held in ucBuf/dcBuf: a
+	// linear-to-coordinate decode is a divmod per dimension, and profiles
+	// put those divmods at 43% of the serial contention step, so coords
+	// only re-decodes when the queried node actually changed. The
+	// destination is fixed for a flight's lifetime (decoded once, not once
+	// per step) and the current node repeats across stalled steps. The
+	// shape pointer keys the whole cache: a context migrated to a
+	// different mesh re-decodes from scratch.
+	coordShape *grid.Shape
+	ucID, dcID grid.NodeID
 }
 
 // coords resolves the current node and the destination into the context's
-// reusable buffers.
+// reusable buffers, reusing the previous decode when the id is unchanged.
 func (ctx *Context) coords(u, d grid.NodeID) (uc, dc grid.Coord) {
 	shape := ctx.M.Shape()
-	if len(ctx.ucBuf) != shape.Dims() {
-		ctx.ucBuf = make(grid.Coord, shape.Dims())
-		ctx.dcBuf = make(grid.Coord, shape.Dims())
-		ctx.wcBuf = make(grid.Coord, shape.Dims())
+	if ctx.coordShape != shape {
+		if len(ctx.ucBuf) != shape.Dims() {
+			ctx.ucBuf = make(grid.Coord, shape.Dims())
+			ctx.dcBuf = make(grid.Coord, shape.Dims())
+			ctx.wcBuf = make(grid.Coord, shape.Dims())
+		}
+		ctx.coordShape = shape
+		ctx.ucID, ctx.dcID = grid.InvalidNode, grid.InvalidNode
 	}
-	return shape.Coord(u, ctx.ucBuf), shape.Coord(d, ctx.dcBuf)
+	if ctx.ucID != u {
+		shape.Coord(u, ctx.ucBuf)
+		ctx.ucID = u
+	}
+	if ctx.dcID != d {
+		shape.Coord(d, ctx.dcBuf)
+		ctx.dcID = d
+	}
+	return ctx.ucBuf, ctx.dcBuf
 }
 
 // Decision is the outcome of one routing decision.
@@ -430,9 +465,20 @@ func classifyLimited(ctx *Context, msg *Message) (cl classified, bad bool) {
 		if next == grid.InvalidNode || m.Status(next) != mesh.Enabled {
 			continue
 		}
-		wc := shape.Coord(next, ctx.wcBuf)
 		if isPreferred(uc, dc, dir) {
-			if demotedByRecords(recs, wc, dc) {
+			// The neighbor's coordinate differs from uc by ±1 on one axis,
+			// so derive it with a copy instead of a per-dimension divmod
+			// decode (the old shape.Coord(next, ...) here was the hottest
+			// divmod site in the contention step) — and only when there
+			// are records for demotedByRecords to consult at all.
+			demote := false
+			if len(recs) > 0 {
+				wc := ctx.wcBuf
+				copy(wc, uc)
+				wc[dir.Axis()] += dir.Sign()
+				demote = demotedByRecords(recs, wc, dc)
+			}
+			if demote {
 				demoted = append(demoted, dir)
 			} else {
 				preferred = append(preferred, dir)

@@ -1,0 +1,103 @@
+package traffic
+
+import (
+	"ndmesh/internal/grid"
+	"ndmesh/internal/rng"
+)
+
+// Injector is one step's worth of offered traffic, the shape shared by the
+// open-loop Generator, the closed-loop ClosedLoop source and the TracePlayer
+// replaying a recorded workload. The emit callback owns admission and
+// reports it: true means the message was injected, false that the source
+// refused it (full input queue or bad node). Open-loop sources ignore the
+// verdict (a refusal is a drop); the closed-loop source keeps the slot free
+// and retries next step.
+type Injector interface {
+	Step(emit func(src, dst grid.NodeID) bool)
+}
+
+// ClosedLoop is a closed-loop workload source: every node holds a bounded
+// window of outstanding requests and only issues a new one when a slot
+// frees — the delivery (or any terminal outcome) of an earlier request,
+// reported through Release. Where the open-loop processes keep offering
+// traffic regardless of what the network does with it, a closed loop is
+// self-throttling: injection adapts to delivery, which is how real
+// request/reply workloads behave and why closed-loop curves expose
+// fairness and saturation behavior that open-loop injection hides.
+//
+// Determinism follows the Generator's contract: all randomness flows
+// through the single stream handed to NewClosedLoop, drawn in node order
+// within a step, and slots are released by the engine's harvest pass,
+// which runs in flight-injection order. A closed-loop run is therefore a
+// deterministic function of (shape, pattern, window, stream, engine
+// behavior) — the property the E21 sweep's serial/parallel/sharded
+// equality rests on.
+//
+// The steady state allocates nothing: the per-node outstanding counters
+// are a flat array sized once, and Step draws destinations into the same
+// emit path the open-loop generator uses.
+type ClosedLoop struct {
+	shape       *grid.Shape
+	pat         Pattern
+	window      int
+	outstanding []int
+	inFlight    int
+	r           *rng.Source
+}
+
+// NewClosedLoop builds a closed-loop source in which every node keeps up to
+// window requests outstanding (window < 1 means 1).
+func NewClosedLoop(shape *grid.Shape, pat Pattern, window int, r *rng.Source) *ClosedLoop {
+	if window < 1 {
+		window = 1
+	}
+	return &ClosedLoop{
+		shape:       shape,
+		pat:         pat,
+		window:      window,
+		outstanding: make([]int, shape.NumNodes()),
+		r:           r,
+	}
+}
+
+// Window returns the per-node outstanding-request bound.
+func (c *ClosedLoop) Window() int { return c.window }
+
+// Outstanding returns node's current outstanding-request count.
+func (c *ClosedLoop) Outstanding(node int) int { return c.outstanding[node] }
+
+// InFlight returns the total outstanding requests across all nodes.
+func (c *ClosedLoop) InFlight() int { return c.inFlight }
+
+// Step implements Injector: in node order, every node tops its outstanding
+// count up to the window, drawing one destination per new request. A
+// refusal (emit returns false: the source's input queue is full, or the
+// node is down) leaves the slot free and moves on — the node retries with
+// a fresh draw next step, so a closed loop never drops requests, it defers
+// them.
+func (c *ClosedLoop) Step(emit func(src, dst grid.NodeID) bool) {
+	n := c.shape.NumNodes()
+	for node := 0; node < n; node++ {
+		for c.outstanding[node] < c.window {
+			src := grid.NodeID(node)
+			dst := c.pat.Dest(src, c.r)
+			if !emit(src, dst) {
+				break // source blocked this step; retry next step
+			}
+			c.outstanding[node]++
+			c.inFlight++
+		}
+	}
+}
+
+// Release frees one outstanding slot at src: the request injected there
+// reached a terminal state (delivered, unreachable or lost — all three
+// must release, or faults would leak the window shut). The slot is
+// reusable from the next Step on.
+func (c *ClosedLoop) Release(src grid.NodeID) {
+	if c.outstanding[src] <= 0 {
+		panic("traffic: ClosedLoop.Release without an outstanding request")
+	}
+	c.outstanding[src]--
+	c.inFlight--
+}

@@ -26,9 +26,11 @@ func NewGenerator(shape *grid.Shape, pat Pattern, proc Process, rate float64, r 
 	return &Generator{shape: shape, pat: pat, proc: proc, rate: rate, r: r}
 }
 
-// Step emits this step's injections in node order. The emit callback owns
-// admission (inject, drop, count); the generator only offers traffic.
-func (g *Generator) Step(emit func(src, dst grid.NodeID)) {
+// Step implements Injector: it emits this step's injections in node order.
+// The emit callback owns admission (inject, drop, count); the generator
+// only offers traffic, and — being open-loop — ignores the admission
+// verdict: a refusal is a drop, never a retry.
+func (g *Generator) Step(emit func(src, dst grid.NodeID) bool) {
 	n := g.shape.NumNodes()
 	for node := 0; node < n; node++ {
 		k := g.proc.Arrivals(node, g.rate, g.r)

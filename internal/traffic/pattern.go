@@ -1,17 +1,27 @@
 // Package traffic is the contention-aware load-generation and measurement
 // subsystem: synthetic injection patterns (uniform-random, transpose,
 // bit-complement, bit-reversal, hotspot, nearest-neighbor), open-loop
-// arrival processes (Bernoulli, Poisson, bursty on/off), a per-step
-// injection generator, and the warmup/measure/drain phase accounting that
-// turns per-flight latencies into latency-throughput points.
+// arrival processes (Bernoulli, Poisson, bursty on/off), the three
+// workload modes behind the Injector interface — the open-loop Generator,
+// the closed-loop bounded-window ClosedLoop source, and the TracePlayer
+// replaying a recorded workload Trace — and the warmup/measure/drain
+// phase accounting that turns per-flight latencies into
+// latency-throughput points.
 //
 // Everything draws from explicit rng.Source streams, so a load run is
 // bit-reproducible: the same seed produces the same injection sequence on
-// every machine and at every worker count. Patterns generalize the classic
-// k-ary n-cube workloads to mixed-radix meshes: coordinatewise complement
-// and digit reversal replace the power-of-two bit tricks, and transpose
-// rotates (and rescales) the address across dimensions, so every generated
+// every machine and at every worker count (and a trace replay consumes no
+// randomness at all). Patterns generalize the classic k-ary n-cube
+// workloads to mixed-radix meshes: coordinatewise complement and digit
+// reversal replace the power-of-two bit tricks, and transpose rotates
+// (and rescales) the address across dimensions, so every generated
 // endpoint is in shape for any radix vector.
+//
+// Reset contracts: Process.Reset(numNodes) sizes and rewinds per-node
+// arrival state between runs; Collector.Reset(phases) rewinds the
+// measurement accounting keeping its sample capacity. Sources draw in
+// node order within a step and keep per-node state in flat arrays, so
+// steady-state injection allocates nothing.
 package traffic
 
 import (

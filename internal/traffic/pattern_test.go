@@ -145,7 +145,7 @@ func TestGeneratorDeterministic(t *testing.T) {
 		gen := NewGenerator(shape, pat, proc, 0.2, rng.New(99))
 		var out []ev
 		for step := 0; step < 50; step++ {
-			gen.Step(func(s, d grid.NodeID) { out = append(out, ev{s, d}) })
+			gen.Step(func(s, d grid.NodeID) bool { out = append(out, ev{s, d}); return true })
 		}
 		return out
 	}

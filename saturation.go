@@ -1,10 +1,11 @@
 package ndmesh
 
 // This file is the load-generation face of the simulator: it drives the
-// contention-mode engine with internal/traffic's open-loop injection
-// patterns through the warmup/measure/drain methodology and emits
-// latency-throughput curves (E19). SaturationSweep fans the (pattern, rate,
-// router) grid across the parallel experiment engine under the same
+// contention-mode engine with internal/traffic's workloads — open-loop
+// injection (E19), closed-loop bounded-window sources (E21, closedloop.go)
+// and recorded-trace replays — through the warmup/measure/drain methodology
+// and emits latency-throughput curves. SaturationSweep fans the (pattern,
+// rate, router) grid across the parallel experiment engine under the same
 // determinism contract as every other sweep: per-job rng streams are split
 // serially in job order, each job writes only its own result slot, and
 // aggregation is a serial pass — so the output is byte-identical for every
@@ -130,7 +131,7 @@ func saturationSweep(opt SaturationOptions, seed uint64) ([]SaturationRow, error
 		pi := j / (len(opt.Rates) * len(opt.Routers))
 		ri := j / len(opt.Routers) % len(opt.Rates)
 		ki := j % len(opt.Routers)
-		pt, err := p.loadPoint(opt, opt.Patterns[pi], opt.Routers[ki], opt.Rates[ri], rngs[j])
+		pt, err := p.loadPoint(opt, workload{pattern: opt.Patterns[pi], rate: opt.Rates[ri]}, opt.Routers[ki], rngs[j])
 		if err != nil {
 			return err
 		}
@@ -165,12 +166,6 @@ func validateSaturation(opt *SaturationOptions) error {
 	if len(opt.Routers) == 0 || len(opt.Patterns) == 0 || len(opt.Rates) == 0 {
 		return fmt.Errorf("ndmesh: saturation sweep needs at least one router, pattern and rate")
 	}
-	if opt.Measure < 1 {
-		return fmt.Errorf("ndmesh: saturation sweep needs a measurement window (Measure >= 1)")
-	}
-	if opt.Warmup < 0 || opt.Drain < 0 {
-		return fmt.Errorf("ndmesh: negative phase lengths (warmup %d, drain %d)", opt.Warmup, opt.Drain)
-	}
 	// Reject rates the arrival process cannot offer faithfully: past its
 	// MaxRate the realized load silently clips and the curve's offered-rate
 	// axis would lie (a Bernoulli source caps at 1 msg/node/step, a bursty
@@ -188,6 +183,19 @@ func validateSaturation(opt *SaturationOptions) error {
 				rate, proc.Name(), max)
 		}
 	}
+	return validateLoadShape(opt)
+}
+
+// validateLoadShape checks (and defaults) the workload-independent run
+// configuration shared by the open-loop sweeps, the closed-loop sweep and
+// trace replays: the phase lengths and the contention/sharding parameters.
+func validateLoadShape(opt *SaturationOptions) error {
+	if opt.Measure < 1 {
+		return fmt.Errorf("ndmesh: load run needs a measurement window (Measure >= 1)")
+	}
+	if opt.Warmup < 0 || opt.Drain < 0 {
+		return fmt.Errorf("ndmesh: negative phase lengths (warmup %d, drain %d)", opt.Warmup, opt.Drain)
+	}
 	if opt.Lambda < 1 {
 		opt.Lambda = 1
 	}
@@ -200,16 +208,62 @@ func validateSaturation(opt *SaturationOptions) error {
 	return nil
 }
 
+// workload selects what one load run offers the network: a live open-loop
+// generator (pattern + rate), a live closed-loop source (pattern + window),
+// or the replay of a recorded trace. record, when non-nil, captures the
+// run's offered stream and fault schedule into the trace so the identical
+// workload can be replayed later (see traffic.Trace).
+type workload struct {
+	// pattern names the traffic pattern for the live modes (unused when
+	// replaying — the trace already holds concrete endpoints).
+	pattern string
+	// rate is the open-loop nominal injection rate (0 in closed-loop mode).
+	rate float64
+	// window > 0 selects the closed loop: every node keeps up to window
+	// requests outstanding and reinjects only when one terminates.
+	window int
+	// replay, when non-nil, replays the recorded workload: its injections,
+	// fault schedule, phases and rate. No randomness is consumed.
+	replay *traffic.Trace
+	// record, when non-nil, is filled with the run's offers and metadata.
+	record *traffic.Trace
+}
+
+// closedLoop reports whether the run uses closed-loop drop accounting: a
+// refused offer is deferred and retried, never counted as a drop. Replays
+// mirror the accounting of the run they recorded.
+func (wl *workload) closedLoop() bool {
+	return wl.window > 0 || (wl.replay != nil && wl.replay.ClosedLoop)
+}
+
 // loadPoint executes one contention-mode load run on a pooled simulation:
-// open-loop injection for warmup+measure steps, then a drain window, with
-// terminated flights harvested (and recycled) every step.
-func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate float64, r *rng.Source) (traffic.LoadPoint, error) {
+// workload injection (open-loop, closed-loop or trace replay) for
+// warmup+measure steps, then a drain window, with terminated flights
+// harvested (and recycled) every step.
+func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r *rng.Source) (traffic.LoadPoint, error) {
 	sim, err := p.get(opt.Dims, opt.Lambda)
 	if err != nil {
 		return traffic.LoadPoint{}, err
 	}
 	shape := sim.gridShape()
-	if opt.Faults > 0 {
+	// recFaults is the fault schedule a recording must carry. It is only
+	// copied into wl.record after the recorder attaches, because attaching
+	// resets the trace (including any stale fault schedule).
+	var recFaults []fault.Event
+	switch {
+	case wl.replay != nil:
+		// The trace carries the origin run's fault schedule; a live fault
+		// overlay would double-fault the replay.
+		if err := wl.replay.Validate(shape); err != nil {
+			return traffic.LoadPoint{}, err
+		}
+		if len(wl.replay.Faults) > 0 {
+			setSchedule(sim, wl.replay.Schedule())
+		}
+		// Re-recording a replay must carry the schedule over, or the copy
+		// would replay fault-free and break the byte-identity contract.
+		recFaults = wl.replay.Faults
+	case opt.Faults > 0:
 		interval := opt.FaultInterval
 		if interval < 1 {
 			interval = 1
@@ -223,14 +277,7 @@ func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate 
 			return traffic.LoadPoint{}, err
 		}
 		setSchedule(sim, sched)
-	}
-	pat, err := traffic.ByName(shape, pattern)
-	if err != nil {
-		return traffic.LoadPoint{}, err
-	}
-	proc, err := traffic.ProcessByName(opt.Process)
-	if err != nil {
-		return traffic.LoadPoint{}, err
+		recFaults = sched.Events
 	}
 	rtr, err := route.ByName(router)
 	if err != nil {
@@ -240,6 +287,50 @@ func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate 
 		cg.Cfg = opt.Congestion
 		rtr = cg
 	}
+
+	// Build the injection source for the selected workload mode. cl is
+	// non-nil only for a live closed loop: its outstanding windows are
+	// released from the harvest callback below.
+	var src traffic.Injector
+	var cl *traffic.ClosedLoop
+	rate := wl.rate
+	switch {
+	case wl.replay != nil:
+		src = traffic.NewTracePlayer(wl.replay)
+		rate = wl.replay.Rate
+	case wl.window > 0:
+		pat, err := traffic.ByName(shape, wl.pattern)
+		if err != nil {
+			return traffic.LoadPoint{}, err
+		}
+		cl = traffic.NewClosedLoop(shape, pat, wl.window, r)
+		src = cl
+	default:
+		pat, err := traffic.ByName(shape, wl.pattern)
+		if err != nil {
+			return traffic.LoadPoint{}, err
+		}
+		proc, err := traffic.ProcessByName(opt.Process)
+		if err != nil {
+			return traffic.LoadPoint{}, err
+		}
+		src = traffic.NewGenerator(shape, pat, proc, wl.rate, r)
+	}
+	if wl.record != nil {
+		wl.record.Dims = shape.Radices()
+		wl.record.Rate = rate
+		wl.record.Window = wl.window
+		wl.record.ClosedLoop = wl.closedLoop()
+		wl.record.Warmup, wl.record.Measure, wl.record.Drain = opt.Warmup, opt.Measure, opt.Drain
+		// The engine-side configuration shapes every admission verdict, so
+		// the trace carries it: a replay inherits these unless the caller
+		// overrides deliberately.
+		wl.record.Lambda, wl.record.LinkRate, wl.record.NodeCapacity = opt.Lambda, opt.LinkRate, opt.NodeCapacity
+		src = traffic.NewTraceRecorder(src, wl.record) // resets the trace...
+		wl.record.Faults = append(wl.record.Faults, recFaults...)
+		// ... so the fault schedule is attached afterwards.
+	}
+	closed := wl.closedLoop()
 
 	eng := sim.eng()
 	eng.EnableContention(engine.ContentionConfig{
@@ -260,7 +351,6 @@ func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate 
 		eng.SetShards(1)
 		eng.DisableContention()
 	}()
-	gen := traffic.NewGenerator(shape, pat, proc, rate, r)
 	ph := traffic.Phases{Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain}
 	var col traffic.Collector
 	col.Reset(ph)
@@ -268,24 +358,28 @@ func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate 
 	fab := sim.fabric()
 	var injectErr error
 	step := 0
-	emit := func(src, dst grid.NodeID) {
+	emit := func(src, dst grid.NodeID) bool {
 		if injectErr != nil {
-			return
+			return false
 		}
 		// Source-queue admission: a faulty/disabled source cannot inject,
-		// and a full input queue refuses the message (both are drops — the
-		// open loop does not retry).
+		// and a full input queue refuses the message. An open loop counts
+		// the refusal as a drop; a closed loop (and the replay of one)
+		// leaves it unaccounted — the source keeps the slot and retries.
 		if fab.Status(src) != mesh.Enabled || !eng.Admit(src) {
-			col.Offer(step, false)
-			return
+			if !closed {
+				col.Offer(step, false)
+			}
+			return false
 		}
 		fl, err := eng.Inject(src, dst, rtr)
 		if err != nil {
 			injectErr = err
-			return
+			return false
 		}
 		fl.Ctx.Policy = sim.routePolicy()
 		col.Offer(step, true)
+		return true
 	}
 	harvest := func(fl *engine.Flight) {
 		oc := traffic.Unfinished
@@ -297,13 +391,18 @@ func (p *simPool) loadPoint(opt SaturationOptions, pattern, router string, rate 
 		case fl.Msg.Lost:
 			oc = traffic.Lost
 		}
+		if cl != nil {
+			// Every terminal outcome frees the source's window slot —
+			// delivered or not — or faults would wedge the loop shut.
+			cl.Release(fl.Msg.Src)
+		}
 		col.Finish(fl.StartStep, fl.Msg.Steps, oc)
 	}
 
 	total := ph.Total()
 	for ; step < total; step++ {
 		if step < ph.InjectUntil() {
-			gen.Step(emit)
+			src.Step(emit)
 			if injectErr != nil {
 				return traffic.LoadPoint{}, injectErr
 			}
@@ -338,14 +437,64 @@ type LoadOptions struct {
 	// point is byte-identical for every value.
 	Shards int
 	Seed   uint64
+	// Window > 0 switches the run to the closed-loop workload: every node
+	// keeps up to Window requests outstanding and reinjects only when one
+	// terminates. Rate and Process are ignored in closed-loop mode.
+	Window int
+	// Record, when non-nil, is filled with the run's offered workload,
+	// fault schedule and metadata — a trace that Replay (or -trace-replay
+	// on cmd/loadgen) reproduces byte-identically.
+	Record *traffic.Trace
+	// Replay, when non-nil, replays a recorded workload instead of running
+	// a live source: Dims, Rate, Window, the phase lengths and the fault
+	// schedule are taken from the trace and override the corresponding
+	// fields here; no randomness is consumed. The engine-side
+	// configuration (Lambda, LinkRate, NodeCapacity) is inherited from
+	// the trace wherever the caller leaves the field zero, so a plain
+	// replay is byte-identical to the origin run's LoadPoint; set a field
+	// (or Router/Congestion, which are never recorded) to deliberately
+	// run the same offered workload under a different configuration.
+	// Because 0 is NodeCapacity's meaningful "unbounded" value, forcing
+	// unbounded buffers on the replay of a finite-capacity trace takes a
+	// negative NodeCapacity.
+	Replay *traffic.Trace
 }
 
 // LoadRun executes one contention-mode load run and returns its
 // latency-throughput point — the single-cell convenience entry for
-// library callers who want one point, not a sweep (cmd/loadgen always
-// goes through SaturationSweepWorkers, even for one cell; the two paths
+// library callers who want one point, not a sweep (cmd/loadgen goes
+// through SaturationSweepWorkers for open-loop grids; the two paths
 // produce identical points, pinned by TestLoadRunMatchesSweepCell).
 func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
+	if opt.Replay != nil {
+		if opt.Record == opt.Replay {
+			// Aliasing the two would have the recorder truncate the very
+			// offer stream the player is reading — refuse instead of
+			// silently replaying (and re-recording) an empty workload.
+			return traffic.LoadPoint{}, fmt.Errorf("ndmesh: Record and Replay must be distinct traces")
+		}
+		// The trace is authoritative for the workload side; the
+		// engine-side configuration is inherited for every field the
+		// caller left zero, so a plain replay reproduces the origin run.
+		tr := opt.Replay
+		opt.Dims = append([]int(nil), tr.Dims...)
+		opt.Rate = tr.Rate
+		opt.Window = tr.Window
+		opt.Warmup, opt.Measure, opt.Drain = tr.Warmup, tr.Measure, tr.Drain
+		opt.Faults = 0
+		if opt.Lambda == 0 {
+			opt.Lambda = tr.Lambda
+		}
+		if opt.LinkRate == 0 {
+			opt.LinkRate = tr.LinkRate
+		}
+		switch {
+		case opt.NodeCapacity == 0:
+			opt.NodeCapacity = tr.NodeCapacity
+		case opt.NodeCapacity < 0:
+			opt.NodeCapacity = 0 // explicit unbounded override
+		}
+	}
 	sopt := SaturationOptions{
 		Dims: opt.Dims, Lambda: opt.Lambda,
 		Routers: []string{opt.Router}, Patterns: []string{opt.Pattern},
@@ -357,10 +506,25 @@ func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
 		Clustered: opt.Clustered,
 		Shards:    opt.Shards,
 	}
-	if err := validateSaturation(&sopt); err != nil {
+	if opt.Window > 0 || opt.Replay != nil {
+		// Closed-loop and replay runs have no live arrival process to
+		// validate rates against (a closed loop has no nominal rate at
+		// all); only the run shape is checked.
+		if opt.Router == "" {
+			return traffic.LoadPoint{}, fmt.Errorf("ndmesh: load run needs a router")
+		}
+		if err := validateLoadShape(&sopt); err != nil {
+			return traffic.LoadPoint{}, err
+		}
+	} else if err := validateSaturation(&sopt); err != nil {
 		return traffic.LoadPoint{}, err
 	}
 	pool := newSimPool()
 	r := rng.New(opt.Seed).Split() // match the sweep's per-job stream derivation
-	return pool.loadPoint(sopt, opt.Pattern, opt.Router, opt.Rate, r)
+	wl := workload{pattern: opt.Pattern, rate: opt.Rate, window: opt.Window,
+		replay: opt.Replay, record: opt.Record}
+	if wl.window > 0 {
+		wl.rate = 0
+	}
+	return pool.loadPoint(sopt, wl, opt.Router, r)
 }

@@ -91,7 +91,7 @@ func TestLoadPointLeavesEngineClean(t *testing.T) {
 			o := opt
 			o.Drain = tc.drain
 			o.Shards = tc.shards
-			pt, err := pool.loadPoint(o, "uniform", "limited", tc.rate, rng.New(3).Split())
+			pt, err := pool.loadPoint(o, workload{pattern: "uniform", rate: tc.rate}, "limited", rng.New(3).Split())
 			if err != nil {
 				t.Fatal(err)
 			}
