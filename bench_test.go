@@ -539,6 +539,68 @@ func BenchmarkClosedLoopStep(b *testing.B) {
 	b.ReportMetric(float64(cl.InFlight()), "in_flight")
 }
 
+// BenchmarkGridlockEscapeStep (E22a) measures one step of a closed-loop
+// run with every deadlock-escape mechanism live: tight finite buffers in
+// the gridlock regime, stall-age bookkeeping, flights timing out and being
+// killed back to their sources, the closed loop re-arming those slots under
+// jittered exponential backoff, bubble admission gating injection, and the
+// zero-progress detector latching and unlatching as kills restore
+// progress. The delta against BenchmarkClosedLoopStep is the price of the
+// escape machinery; the path must stay at 0 allocs/op (asserted by
+// TestEscapeClosedLoopStepAllocFree and pinned in BENCH_06.json).
+func BenchmarkGridlockEscapeStep(b *testing.B) {
+	sim := MustSimulation(Config{Dims: []int{16, 16}})
+	eng := sim.eng()
+	eng.EnableContention(engine.ContentionConfig{
+		LinkRate: 1, NodeCapacity: 3,
+		FlightTimeout: 4, GridlockWindow: 4, Bubble: true,
+	})
+	shape := sim.gridShape()
+	pat, err := traffic.ByName(shape, "transpose")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := traffic.NewClosedLoop(shape, pat, 4, rng.New(1))
+	cl.ConfigureRetry(2)
+	emit := func(src, dst grid.NodeID) bool {
+		if !eng.Admit(src) {
+			return false
+		}
+		if _, err := eng.Inject(src, dst, route.Limited{}); err != nil {
+			b.Fatal(err)
+		}
+		return true
+	}
+	harvest := func(fl *engine.Flight) {
+		if fl.Msg.TimedOut {
+			cl.Timeout(fl.Msg.Src)
+		} else {
+			cl.Release(fl.Msg.Src)
+		}
+	}
+	step := func() {
+		cl.Step(emit)
+		eng.Step()
+		eng.DetachDone(harvest)
+	}
+	// Reach steady state — including a warm free list of killed-and-recycled
+	// flights — before the timer.
+	for i := 0; i < 256; i++ {
+		step()
+	}
+	if cl.Retried() == 0 {
+		b.Fatal("no retries after warmup; the escape path is not being measured")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cl.InFlight()), "in_flight")
+	b.ReportMetric(float64(cl.Retried()), "retried")
+}
+
 // BenchmarkCongestedContentionStep (E20a) is BenchmarkContentionStep with
 // the congestion-aware router: the same standing population arbitrating
 // for links, but every stalled flight consulting the LoadView (residency +

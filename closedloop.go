@@ -44,6 +44,13 @@ type ClosedLoopOptions struct {
 	LinkRate, NodeCapacity int
 	// Congestion tunes the "congested" router's tie-breaking.
 	Congestion route.CongestionConfig
+	// FlightTimeout/RetryBackoff/Bubble/GridlockWindow configure the
+	// deadlock-escape mechanisms (see SaturationOptions): with a finite
+	// NodeCapacity and windows past the buffer budget they are what keeps
+	// the closed loop from gridlocking permanently.
+	FlightTimeout, RetryBackoff int
+	Bubble                      bool
+	GridlockWindow              int
 	// Faults > 0 overlays a dynamic fault schedule on every run.
 	Faults, FaultInterval int
 	Clustered             bool
@@ -65,7 +72,10 @@ type ClosedLoopOptions struct {
 // deadlock avoidance, so windows past the buffer budget gridlock the mesh —
 // deliveries stop and, because a closed loop defers instead of dropping,
 // nothing relieves the cycle (the open-loop analogue is E20's congestion
-// collapse, visible there as exploding drop counts).
+// collapse, visible there as exploding drop counts). The escape mechanisms
+// (FlightTimeout + RetryBackoff, Bubble, GridlockWindow) turn that regime
+// into a measured, recoverable one — E22 (gridlock.go) maps it
+// systematically.
 func DefaultClosedLoop() ClosedLoopOptions {
 	return ClosedLoopOptions{
 		Dims:     []int{8, 8},
@@ -127,8 +137,10 @@ func closedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error
 		Dims: opt.Dims, Lambda: opt.Lambda,
 		Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
 		LinkRate: opt.LinkRate, NodeCapacity: opt.NodeCapacity,
-		Congestion: opt.Congestion,
-		Faults:     opt.Faults, FaultInterval: opt.FaultInterval,
+		Congestion:    opt.Congestion,
+		FlightTimeout: opt.FlightTimeout, RetryBackoff: opt.RetryBackoff,
+		Bubble: opt.Bubble, GridlockWindow: opt.GridlockWindow,
+		Faults: opt.Faults, FaultInterval: opt.FaultInterval,
 		Clustered: opt.Clustered,
 		Shards:    opt.Shards,
 	}

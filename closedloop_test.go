@@ -239,6 +239,59 @@ func TestClosedLoopStepAllocFree(t *testing.T) {
 	}
 }
 
+// TestEscapeClosedLoopStepAllocFree pins the PR's steady-state allocation
+// guarantee with every escape mechanism live: tight buffers in the gridlock
+// regime, flights timing out, the closed loop re-arming slots under
+// jittered backoff, bubble admission gating injection and the detector
+// latching and unlatching — a full step of all that allocates nothing once
+// the free lists are warm.
+func TestEscapeClosedLoopStepAllocFree(t *testing.T) {
+	sim := MustSimulation(Config{Dims: []int{8, 8}})
+	eng := sim.eng()
+	eng.EnableContention(engine.ContentionConfig{
+		LinkRate: 1, NodeCapacity: 3,
+		FlightTimeout: 4, GridlockWindow: 4, Bubble: true,
+	})
+	defer eng.DisableContention()
+	shape := sim.gridShape()
+	pat, err := traffic.ByName(shape, "transpose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := traffic.NewClosedLoop(shape, pat, 4, rng.New(1))
+	cl.ConfigureRetry(2)
+	emit := func(src, dst grid.NodeID) bool {
+		if !eng.Admit(src) {
+			return false
+		}
+		if _, err := eng.Inject(src, dst, route.Limited{}); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+	harvest := func(fl *engine.Flight) {
+		if fl.Msg.TimedOut {
+			cl.Timeout(fl.Msg.Src)
+		} else {
+			cl.Release(fl.Msg.Src)
+		}
+	}
+	step := func() {
+		cl.Step(emit)
+		eng.Step()
+		eng.DetachDone(harvest)
+	}
+	for i := 0; i < 256; i++ {
+		step()
+	}
+	if cl.Retried() == 0 {
+		t.Fatal("no retries after warmup; the escape path is not being exercised")
+	}
+	if allocs := testing.AllocsPerRun(300, step); allocs != 0 {
+		t.Errorf("escape-mechanism steady-state step allocates %.1f/op, want 0", allocs)
+	}
+}
+
 // TestTraceRecordReplayIdentical is the trace subsystem's acceptance
 // criterion: a recorded run — open-loop under faults, and closed-loop —
 // replays through the binary format to a byte-identical LoadPoint.

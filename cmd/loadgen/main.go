@@ -16,8 +16,14 @@
 //	loadgen -dims 8x8 -rates 0.2,0.3,0.4 -routers limited,congested -capacity 8
 //	loadgen -dims 6x6x6 -rates 0.05 -patterns hotspot -process bursty -capacity 4
 //	loadgen -dims 8x8 -windows 1,2,4,8,16 -patterns uniform -capacity 8
+//	loadgen -dims 8x8 -windows 8 -capacity 4 -timeout 16 -retry-backoff 4 -bubble -gridlock-window 8
 //	loadgen -dims 8x8 -rates 0.2 -patterns uniform -trace-record w.ndwt
 //	loadgen -trace-replay w.ndwt -routers congested -capacity 8
+//	loadgen -trace-replay w.ndwt -routers limited,congested,blind,dor
+//
+// With several -routers, -trace-replay becomes a comparison sweep: every
+// router replays the identical offer stream and fault schedule, one row
+// per router, so the rows differ by router choice alone.
 package main
 
 import (
@@ -52,6 +58,11 @@ func main() {
 		margin       = flag.Int("margin", 1, "congested router: load advantage required to leave the baseline pick")
 		nodeWeight   = flag.Int("node-weight", 1, "congested router: weight of downstream node residency (0 disables the signal)")
 		linkWeight   = flag.Int("link-weight", 1, "congested router: weight of directed-link pending depth (0 disables the signal)")
+		congPreset   = flag.String("congestion", "", "congested router preset: off | mild | aggressive (overrides -margin/-node-weight/-link-weight)")
+		timeout      = flag.Int("timeout", 0, "kill any flight stalled in place this many consecutive steps (0 = off); closed-loop sources retry the request")
+		retryBackoff = flag.Int("retry-backoff", 0, "closed-loop retry backoff base delay in steps (doubles per consecutive timeout; with -timeout)")
+		bubble       = flag.Bool("bubble", false, "bubble admission: injection must leave >= 1 free input-buffer slot (needs -capacity >= 2)")
+		gridlockWin  = flag.Int("gridlock-window", 0, "declare gridlock after this many consecutive zero-progress steps (0 = no detection)")
 		faults       = flag.Int("faults", 0, "dynamic faults overlaid on the run (0 = fault-free)")
 		interval     = flag.Int("interval", 40, "steps between fault occurrences")
 		clustered    = flag.Bool("clustered", false, "grow one block instead of scattering faults")
@@ -71,6 +82,12 @@ func main() {
 	routers := cliutil.SplitList(*routersFlag)
 	patterns := cliutil.SplitList(*patternsFlag)
 	congestion := route.CongestionConfig{Margin: *margin, NodeWeight: *nodeWeight, LinkWeight: *linkWeight}
+	if *congPreset != "" {
+		congestion, err = route.CongestionPresetByName(*congPreset)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	emitTable := func(tab *stats.Table) {
 		if *csv {
@@ -79,13 +96,25 @@ func main() {
 			fmt.Print(tab.String())
 		}
 	}
-	pointTable := func(title string, router, workload string, pt traffic.LoadPoint) *stats.Table {
-		tab := stats.NewTable(title,
-			"workload", "router", "offered", "accepted", "delivered", "dropped", "unreach", "lost", "unfin",
+	newPointTable := func(title string) *stats.Table {
+		return stats.NewTable(title,
+			"workload", "router", "offered", "accepted", "delivered", "dropped", "unreach", "lost",
+			"timeout", "retried", "unfin", "gridlock",
 			"lat mean", "p50", "p95", "p99", "max")
+	}
+	addPointRow := func(tab *stats.Table, workload, router string, pt traffic.LoadPoint) {
+		gl := ""
+		if pt.Gridlocked {
+			gl = fmt.Sprintf("GRIDLOCK@%d", pt.GridlockStep)
+		}
 		tab.AddRow(workload, router, fmt.Sprintf("%.3f", pt.OfferedRate), fmt.Sprintf("%.3f", pt.AcceptedRate),
-			pt.Delivered, pt.Dropped, pt.Unreachable, pt.Lost, pt.Unfinished,
+			pt.Delivered, pt.Dropped, pt.Unreachable, pt.Lost,
+			pt.TimedOut, pt.Retried, pt.Unfinished, gl,
 			pt.Latency.Mean, pt.Latency.P50, pt.Latency.P95, pt.Latency.P99, pt.Latency.Max)
+	}
+	pointTable := func(title string, router, workload string, pt traffic.LoadPoint) *stats.Table {
+		tab := newPointTable(title)
+		addPointRow(tab, workload, router, pt)
 		return tab
 	}
 
@@ -100,34 +129,76 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if len(routers) != 1 {
-			log.Fatal("-trace-replay needs exactly one -routers entry")
-		}
 		// Engine-side flags override the trace only when given explicitly
 		// on the command line: the flag *defaults* must not silently
 		// replace the recorded configuration (that was exactly the footgun
 		// the trace records them to close).
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		opt := ndmesh.LoadOptions{
-			Router:     routers[0],
-			Congestion: congestion, Shards: *shards, Seed: *seed,
-			Replay: tr,
-		}
-		if set["lambda"] {
-			opt.Lambda = *lambda
-		}
-		if set["link-rate"] {
-			opt.LinkRate = *linkRate
-		}
+		capacityOverride := 0
 		if set["capacity"] {
-			opt.NodeCapacity = *capacity
+			capacityOverride = *capacity
 			if *capacity == 0 {
 				// 0 is the flag's "unbounded" value; the library reserves
 				// zero for trace inheritance, so an explicit 0 becomes the
 				// explicit-unbounded sentinel.
-				opt.NodeCapacity = -1
+				capacityOverride = -1
 			}
+		}
+		lambdaOverride, linkRateOverride := 0, 0
+		if set["lambda"] {
+			lambdaOverride = *lambda
+		}
+		if set["link-rate"] {
+			linkRateOverride = *linkRate
+		}
+		mode := "open-loop"
+		if tr.ClosedLoop {
+			mode = fmt.Sprintf("closed-loop w=%d", tr.Window)
+		}
+		linkRateEff, capacityEff := tr.LinkRate, tr.NodeCapacity
+		if set["link-rate"] {
+			linkRateEff = *linkRate
+		}
+		if set["capacity"] {
+			capacityEff = *capacity
+		}
+
+		// Several routers: the comparison sweep — every arm replays the
+		// identical offer stream and fault schedule, one row per router.
+		if len(routers) > 1 {
+			if *traceRecord != "" {
+				log.Fatal("-trace-record with -trace-replay needs exactly one -routers entry")
+			}
+			ropt := ndmesh.ReplayCompareOptions{
+				Trace: tr, Routers: routers,
+				Lambda: lambdaOverride, LinkRate: linkRateOverride, NodeCapacity: capacityOverride,
+				Congestion:    congestion,
+				FlightTimeout: *timeout, RetryBackoff: *retryBackoff,
+				Bubble: *bubble, GridlockWindow: *gridlockWin,
+				Shards: *shards,
+			}
+			rows, err := ndmesh.ReplayCompareSweepWorkers(ropt, *seed, *workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			title := fmt.Sprintf("trace replay comparison: %s (%v, %s, %d offers over %d steps), link-rate=%d, capacity=%d",
+				*traceReplay, tr.Dims, mode, tr.Offers(), tr.Steps(), linkRateEff, capacityEff)
+			tab := newPointTable(title)
+			for _, row := range rows {
+				addPointRow(tab, "trace", row.Router, row.Point)
+			}
+			emitTable(tab)
+			return
+		}
+
+		opt := ndmesh.LoadOptions{
+			Router:     routers[0],
+			Congestion: congestion, Shards: *shards, Seed: *seed,
+			Lambda: lambdaOverride, LinkRate: linkRateOverride, NodeCapacity: capacityOverride,
+			FlightTimeout: *timeout, RetryBackoff: *retryBackoff,
+			Bubble: *bubble, GridlockWindow: *gridlockWin,
+			Replay: tr,
 		}
 		if *traceRecord != "" {
 			// Re-record the replay: the offered stream and fault schedule
@@ -143,17 +214,6 @@ func main() {
 			if err := os.WriteFile(*traceRecord, opt.Record.Marshal(), 0o644); err != nil {
 				log.Fatal(err)
 			}
-		}
-		mode := "open-loop"
-		if tr.ClosedLoop {
-			mode = fmt.Sprintf("closed-loop w=%d", tr.Window)
-		}
-		linkRateEff, capacityEff := tr.LinkRate, tr.NodeCapacity
-		if set["link-rate"] {
-			linkRateEff = *linkRate
-		}
-		if set["capacity"] {
-			capacityEff = *capacity
 		}
 		title := fmt.Sprintf("trace replay: %s (%v, %s, %d offers over %d steps), link-rate=%d, capacity=%d",
 			*traceReplay, tr.Dims, mode, tr.Offers(), tr.Steps(), linkRateEff, capacityEff)
@@ -176,8 +236,10 @@ func main() {
 			Process: *process,
 			Warmup:  *warmup, Measure: *measure, Drain: *drain,
 			LinkRate: *linkRate, NodeCapacity: *capacity,
-			Congestion: congestion,
-			Faults:     *faults, FaultInterval: *interval, Clustered: *clustered,
+			Congestion:    congestion,
+			FlightTimeout: *timeout, RetryBackoff: *retryBackoff,
+			Bubble: *bubble, GridlockWindow: *gridlockWin,
+			Faults: *faults, FaultInterval: *interval, Clustered: *clustered,
 			Shards: *shards, Seed: *seed,
 			Record: &traffic.Trace{},
 		}
@@ -219,8 +281,10 @@ func main() {
 			Routers: routers, Patterns: patterns, Windows: windows,
 			Warmup: *warmup, Measure: *measure, Drain: *drain,
 			LinkRate: *linkRate, NodeCapacity: *capacity,
-			Congestion: congestion,
-			Faults:     *faults, FaultInterval: *interval, Clustered: *clustered,
+			Congestion:    congestion,
+			FlightTimeout: *timeout, RetryBackoff: *retryBackoff,
+			Bubble: *bubble, GridlockWindow: *gridlockWin,
+			Faults: *faults, FaultInterval: *interval, Clustered: *clustered,
 			Shards: *shards,
 		}
 		rows, err := ndmesh.ClosedLoopSweepWorkers(opt, *seed, *workers)
@@ -246,22 +310,26 @@ func main() {
 		log.Fatal(err)
 	}
 	opt := ndmesh.SaturationOptions{
-		Dims:          dims,
-		Lambda:        *lambda,
-		Routers:       routers,
-		Patterns:      patterns,
-		Rates:         rates,
-		Process:       *process,
-		Warmup:        *warmup,
-		Measure:       *measure,
-		Drain:         *drain,
-		LinkRate:      *linkRate,
-		NodeCapacity:  *capacity,
-		Congestion:    congestion,
-		Faults:        *faults,
-		FaultInterval: *interval,
-		Clustered:     *clustered,
-		Shards:        *shards,
+		Dims:           dims,
+		Lambda:         *lambda,
+		Routers:        routers,
+		Patterns:       patterns,
+		Rates:          rates,
+		Process:        *process,
+		Warmup:         *warmup,
+		Measure:        *measure,
+		Drain:          *drain,
+		LinkRate:       *linkRate,
+		NodeCapacity:   *capacity,
+		Congestion:     congestion,
+		FlightTimeout:  *timeout,
+		RetryBackoff:   *retryBackoff,
+		Bubble:         *bubble,
+		GridlockWindow: *gridlockWin,
+		Faults:         *faults,
+		FaultInterval:  *interval,
+		Clustered:      *clustered,
+		Shards:         *shards,
 	}
 	rows, err := ndmesh.SaturationSweepWorkers(opt, *seed, *workers)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"ndmesh"
+	"ndmesh/internal/route"
 	"ndmesh/internal/stats"
 )
 
@@ -26,14 +27,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | congestion | closedloop | all")
+		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | congestion | closedloop | gridlock | all")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trials  = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs); results are identical for every value")
 		shards  = flag.Int("shards", 1, "intra-step shard workers per load cell (saturation/congestion); results are identical for every value")
+		preset  = flag.String("congestion", "", "congested-router tuning preset for the load experiments: off | mild | aggressive (empty = library defaults)")
 	)
 	flag.Parse()
+
+	var congestion route.CongestionConfig
+	if *preset != "" {
+		var err error
+		if congestion, err = route.CongestionPresetByName(*preset); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	run := func(name string, fn func() (*stats.Table, error)) {
 		if *exp != "all" && *exp != name {
@@ -57,13 +67,14 @@ func main() {
 	run("oscillation", func() (*stats.Table, error) { return oscillationTable(*seed, *trials, *workers) })
 	run("theorems", func() (*stats.Table, error) { return theoremsTable(*seed, *trials, *workers) })
 	run("traffic", func() (*stats.Table, error) { return trafficTable(*seed, *workers) })
-	run("saturation", func() (*stats.Table, error) { return saturationTable(*seed, *workers, *shards) })
-	run("congestion", func() (*stats.Table, error) { return congestionTable(*seed, *workers, *shards) })
-	run("closedloop", func() (*stats.Table, error) { return closedLoopTable(*seed, *workers, *shards) })
+	run("saturation", func() (*stats.Table, error) { return saturationTable(*seed, *workers, *shards, congestion) })
+	run("congestion", func() (*stats.Table, error) { return congestionTable(*seed, *workers, *shards, congestion) })
+	run("closedloop", func() (*stats.Table, error) { return closedLoopTable(*seed, *workers, *shards, congestion) })
+	run("gridlock", func() (*stats.Table, error) { return gridlockTable(*seed, *workers, *shards, congestion) })
 
 	if *exp != "all" {
 		switch *exp {
-		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic", "saturation", "congestion", "closedloop":
+		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic", "saturation", "congestion", "closedloop", "gridlock":
 		default:
 			log.Printf("unknown experiment %q", *exp)
 			flag.Usage()
@@ -87,9 +98,10 @@ func trafficTable(seed uint64, workers int) (*stats.Table, error) {
 	return tab, nil
 }
 
-func congestionTable(seed uint64, workers, shards int) (*stats.Table, error) {
+func congestionTable(seed uint64, workers, shards int, congestion route.CongestionConfig) (*stats.Table, error) {
 	opt := ndmesh.DefaultCongestionShift()
 	opt.Shards = shards
+	opt.Congestion = congestion
 	rows, summaries, err := ndmesh.CongestionShiftSweepWorkers(opt, seed, workers)
 	if err != nil {
 		return nil, err
@@ -109,9 +121,10 @@ func congestionTable(seed uint64, workers, shards int) (*stats.Table, error) {
 	return tab, nil
 }
 
-func closedLoopTable(seed uint64, workers, shards int) (*stats.Table, error) {
+func closedLoopTable(seed uint64, workers, shards int, congestion route.CongestionConfig) (*stats.Table, error) {
 	opt := ndmesh.DefaultClosedLoop()
 	opt.Shards = shards
+	opt.Congestion = congestion
 	rows, err := ndmesh.ClosedLoopSweepWorkers(opt, seed, workers)
 	if err != nil {
 		return nil, err
@@ -125,12 +138,35 @@ func closedLoopTable(seed uint64, workers, shards int) (*stats.Table, error) {
 	return tab, nil
 }
 
-func saturationTable(seed uint64, workers, shards int) (*stats.Table, error) {
+func gridlockTable(seed uint64, workers, shards int, congestion route.CongestionConfig) (*stats.Table, error) {
+	opt := ndmesh.DefaultGridlock()
+	opt.Shards = shards
+	opt.Congestion = congestion
+	rows, err := ndmesh.GridlockSweepWorkers(opt, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("E22 gridlock phase diagram: 8x8 closed loop, finite buffers, escape mechanism as the comparison axis",
+		"pattern", "window", "cap", "faults", "mechanism", "gridlocked", "gstep", "recovery", "accepted", "delivered", "timedout", "retried", "unfin", "lat mean", "p99")
+	for _, r := range rows {
+		gl := ""
+		if r.Gridlocked {
+			gl = "GRIDLOCK"
+		}
+		tab.AddRow(r.Pattern, r.Window, r.Capacity, r.Faults, r.Mechanism, gl,
+			r.GridlockStep, r.RecoverySteps, fmt.Sprintf("%.3f", r.AcceptedRate),
+			r.Delivered, r.TimedOut, r.Retried, r.Unfinished, r.LatMean, r.LatP99)
+	}
+	return tab, nil
+}
+
+func saturationTable(seed uint64, workers, shards int, congestion route.CongestionConfig) (*stats.Table, error) {
 	opt := ndmesh.DefaultSaturation()
 	opt.Routers = []string{"limited", "congested", "blind"}
 	opt.Rates = []float64{0.05, 0.15, 0.3}
 	opt.Warmup, opt.Measure, opt.Drain = 32, 128, 128
 	opt.Shards = shards
+	opt.Congestion = congestion
 	rows, err := ndmesh.SaturationSweepWorkers(opt, seed, workers)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,288 @@
+package ndmesh
+
+// This file is E22, the gridlock phase diagram: the closed-loop methodology
+// of E21 pushed deliberately into its collapse regime — finite router
+// buffers with windows past the buffer budget — and run as a controlled
+// comparison of deadlock-escape mechanisms. For every (pattern, window,
+// capacity, fault count) cell the four mechanism arms {none, retry, bubble,
+// retry+bubble} replay the *identical* scenario (same fault overlay, same
+// initial injection draws, byte-for-byte from value copies of the cell's
+// rng-stream state), so any difference in delivered throughput, retries or
+// time-to-recovery is attributable to the escape mechanism alone:
+//
+//   - none:         gridlock detection only (GridlockWindow). A deadlocked
+//                   cell is detected, cut short and reported Gridlocked —
+//                   the baseline that shows where the phase boundary lies.
+//   - retry:        flight timeouts kill stalled flights back to their
+//                   source, which re-offers them under exponential backoff
+//                   (FlightTimeout + RetryBackoff).
+//   - bubble:       bubble admission keeps >= 1 input-buffer slot free at
+//                   injection, denying the buffer-cycle deadlock its last
+//                   slot by construction.
+//   - retry+bubble: both.
+//
+// The detection window is kept below the flight timeout so a cell that
+// gridlocks under the retry arms still *detects* before the first kill
+// frees it — that is what makes RecoverySteps (detection to first
+// subsequent progress) a measurable time-to-recovery instead of zero.
+//
+// Determinism follows the repository contract: one rng stream is split per
+// scenario cell in row order, each mechanism arm starts from a value copy
+// of that stream's state, each job writes only its own result slots, and
+// aggregation is serial — byte-identical for every worker and shard count.
+
+import (
+	"fmt"
+
+	"ndmesh/internal/grid"
+	"ndmesh/internal/par"
+	"ndmesh/internal/route"
+)
+
+// GridlockMechanisms is the canonical escape-mechanism axis of the E22
+// grid, in reporting order.
+var GridlockMechanisms = []string{"none", "retry", "bubble", "retry+bubble"}
+
+// GridlockOptions configures the E22 phase diagram: the cross product of
+// Patterns x Windows x Capacities x FaultCounts, each cell run once per
+// escape mechanism on an identical scenario.
+type GridlockOptions struct {
+	Dims   []int
+	Lambda int
+	// Router drives every arm (the phase diagram is about escape
+	// mechanisms, not router choice; default "limited" — the backtracking
+	// router with no deadlock avoidance of its own).
+	Router   string
+	Patterns []string
+	// Windows is the closed-loop per-node outstanding bound; Capacities the
+	// per-node input-queue depth (>= 2: bubble admission needs a slot to
+	// keep free). The gridlock boundary lives where window x degree
+	// pressure crosses the buffer budget.
+	Windows    []int
+	Capacities []int
+	// FaultCounts is the dynamic-fault axis (0 = fault-free); each count
+	// overlays a schedule FaultInterval steps apart.
+	FaultCounts   []int
+	FaultInterval int
+	Clustered     bool
+	// Mechanisms selects the escape-mechanism arms (default all four; see
+	// GridlockMechanisms).
+	Mechanisms             []string
+	Warmup, Measure, Drain int
+	LinkRate               int
+	// FlightTimeout/RetryBackoff parameterize the retry arms;
+	// GridlockWindow the detector (applied to every arm). Detection must
+	// stay below the timeout or time-to-recovery collapses to zero.
+	FlightTimeout, RetryBackoff, GridlockWindow int
+	// Congestion tunes the "congested" router when Router selects it.
+	Congestion route.CongestionConfig
+	// Workers is the parallel fan-out width; < 1 means GOMAXPROCS. Shards
+	// is the intra-step shard-worker count per run. Both leave the rows
+	// byte-identical at every value.
+	Workers, Shards int
+}
+
+// DefaultGridlock returns the standard E22 configuration: an 8x8 mesh,
+// uniform + transpose closed loops, windows straddling the buffer budget of
+// capacities 2 and 4, a fault-free and a faulty column, and all four
+// mechanism arms. Detection (8 dead steps) sits below the flight timeout
+// (16 stalled steps) so detection precedes rescue. The window axis brackets
+// the phase boundary: at window 1 most cells run free, by window 4 every
+// finite-buffer cell is deep in the collapse regime where only the retry
+// arms recover (bubble admission wins in the band in between, where
+// gridlock develops from injection overpressure rather than the initial
+// burst).
+func DefaultGridlock() GridlockOptions {
+	return GridlockOptions{
+		Dims:           []int{8, 8},
+		Lambda:         1,
+		Router:         "limited",
+		Patterns:       []string{"uniform", "transpose"},
+		Windows:        []int{1, 2, 4},
+		Capacities:     []int{2, 4},
+		FaultCounts:    []int{0, 4},
+		FaultInterval:  24,
+		Mechanisms:     GridlockMechanisms,
+		Warmup:         32,
+		Measure:        192,
+		Drain:          192,
+		LinkRate:       1,
+		FlightTimeout:  16,
+		RetryBackoff:   4,
+		GridlockWindow: 8,
+	}
+}
+
+// GridlockRow is one (pattern, window, capacity, faults, mechanism) arm of
+// the E22 grid.
+type GridlockRow struct {
+	Dims    string
+	Pattern string
+	Router  string
+	// Window, Capacity and Faults locate the scenario cell; Mechanism names
+	// the escape arm.
+	Window, Capacity, Faults int
+	Mechanism                string
+	// Gridlocked marks terminal gridlock: the detector was still latched
+	// when the run ended (the run is cut short, not spun to its budget).
+	// GridlockStep is the 1-based step the detector first fired (0 =
+	// never); RecoverySteps the steps from first detection to the first
+	// subsequent progress (0 = never fired or never recovered).
+	Gridlocked                  bool
+	GridlockStep, RecoverySteps int
+	// AcceptedRate is delivered messages per node-step over the measurement
+	// window; the remaining counters classify the measured flights. Retried
+	// counts timeout kills that re-armed a source slot.
+	AcceptedRate                  float64
+	Delivered, TimedOut, Retried  int
+	Unreachable, Lost, Unfinished int
+	LatMean                       float64
+	LatP50, LatP99                int
+}
+
+// GridlockSweep runs the E22 phase diagram with all available cores.
+func GridlockSweep(opt GridlockOptions, seed uint64) ([]GridlockRow, error) {
+	opt.Workers = 0
+	return gridlockSweep(opt, seed)
+}
+
+// GridlockSweepWorkers is GridlockSweep with an explicit worker count (each
+// scenario cell — all its mechanism arms — is one parallel job).
+func GridlockSweepWorkers(opt GridlockOptions, seed uint64, workers int) ([]GridlockRow, error) {
+	opt.Workers = workers
+	return gridlockSweep(opt, seed)
+}
+
+// gridlockMechanism resolves a mechanism name to its (timeout, bubble)
+// switches.
+func gridlockMechanism(name string) (timeout, bubble bool, err error) {
+	switch name {
+	case "none":
+		return false, false, nil
+	case "retry":
+		return true, false, nil
+	case "bubble":
+		return false, true, nil
+	case "retry+bubble":
+		return true, true, nil
+	}
+	return false, false, fmt.Errorf("ndmesh: unknown escape mechanism %q (want none|retry|bubble|retry+bubble)", name)
+}
+
+func gridlockSweep(opt GridlockOptions, seed uint64) ([]GridlockRow, error) {
+	if opt.Router == "" {
+		opt.Router = "limited"
+	}
+	if len(opt.Mechanisms) == 0 {
+		opt.Mechanisms = GridlockMechanisms
+	}
+	if len(opt.Patterns) == 0 || len(opt.Windows) == 0 || len(opt.Capacities) == 0 {
+		return nil, fmt.Errorf("ndmesh: gridlock sweep needs at least one pattern, window and capacity")
+	}
+	if len(opt.FaultCounts) == 0 {
+		opt.FaultCounts = []int{0}
+	}
+	for _, m := range opt.Mechanisms {
+		if _, _, err := gridlockMechanism(m); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range opt.Windows {
+		if w < 1 {
+			return nil, fmt.Errorf("ndmesh: closed-loop window %d must be >= 1", w)
+		}
+	}
+	for _, c := range opt.Capacities {
+		if c < 2 {
+			return nil, fmt.Errorf("ndmesh: gridlock sweep capacity %d must be >= 2 (bubble admission keeps one slot free)", c)
+		}
+	}
+	if opt.FlightTimeout < 1 {
+		return nil, fmt.Errorf("ndmesh: gridlock sweep needs FlightTimeout >= 1 (the retry arms have nothing to do without it)")
+	}
+	if opt.GridlockWindow < 1 {
+		return nil, fmt.Errorf("ndmesh: gridlock sweep needs GridlockWindow >= 1 (without detection, a gridlocked 'none' arm spins to its budget)")
+	}
+	shape, err := grid.NewShape(opt.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the shared run shape once against a representative arm.
+	probe := SaturationOptions{
+		Dims: opt.Dims, Lambda: opt.Lambda,
+		Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
+		LinkRate: opt.LinkRate, NodeCapacity: opt.Capacities[0],
+		Shards: opt.Shards,
+	}
+	if err := validateLoadShape(&probe); err != nil {
+		return nil, err
+	}
+	opt.Lambda, opt.LinkRate, opt.Shards = probe.Lambda, probe.LinkRate, probe.Shards
+
+	// One job per scenario cell (pattern-major, then window, capacity,
+	// faults); the mechanism arms run inside the job from value copies of
+	// the cell's stream state, so all arms face the identical scenario.
+	nw, nc, nf, nm := len(opt.Windows), len(opt.Capacities), len(opt.FaultCounts), len(opt.Mechanisms)
+	jobs := len(opt.Patterns) * nw * nc * nf
+	rngs := splitN(seed, jobs)
+	rows := make([]GridlockRow, jobs*nm)
+	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
+		pattern := opt.Patterns[j/(nw*nc*nf)]
+		window := opt.Windows[j/(nc*nf)%nw]
+		capacity := opt.Capacities[j/nf%nc]
+		faults := opt.FaultCounts[j%nf]
+		for mi, mech := range opt.Mechanisms {
+			timeout, bubble, err := gridlockMechanism(mech)
+			if err != nil {
+				return err
+			}
+			sopt := SaturationOptions{
+				Dims: opt.Dims, Lambda: opt.Lambda,
+				Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
+				LinkRate: opt.LinkRate, NodeCapacity: capacity,
+				Congestion:     opt.Congestion,
+				GridlockWindow: opt.GridlockWindow,
+				Bubble:         bubble,
+				Faults:         faults, FaultInterval: opt.FaultInterval,
+				Clustered: opt.Clustered,
+				Shards:    opt.Shards,
+			}
+			if timeout {
+				sopt.FlightTimeout = opt.FlightTimeout
+				sopt.RetryBackoff = opt.RetryBackoff
+			}
+			stream := *rngs[j] // identical scenario for every arm
+			pt, err := p.loadPoint(sopt, workload{pattern: pattern, window: window}, opt.Router, &stream)
+			if err != nil {
+				return err
+			}
+			rows[j*nm+mi] = GridlockRow{
+				Dims:          shape.String(),
+				Pattern:       pattern,
+				Router:        opt.Router,
+				Window:        window,
+				Capacity:      capacity,
+				Faults:        faults,
+				Mechanism:     mech,
+				Gridlocked:    pt.Gridlocked,
+				GridlockStep:  pt.GridlockStep,
+				RecoverySteps: pt.RecoverySteps,
+				AcceptedRate:  pt.AcceptedRate,
+				Delivered:     pt.Delivered,
+				TimedOut:      pt.TimedOut,
+				Retried:       pt.Retried,
+				Unreachable:   pt.Unreachable,
+				Lost:          pt.Lost,
+				Unfinished:    pt.Unfinished,
+				LatMean:       pt.Latency.Mean,
+				LatP50:        pt.Latency.P50,
+				LatP99:        pt.Latency.P99,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

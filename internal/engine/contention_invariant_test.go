@@ -17,13 +17,18 @@ import (
 // routers, capacities, injection bursts and dynamic fault overlays):
 //
 //   - flights partition exactly: injected == delivered + unreachable +
-//     lost + in-flight, at every step;
+//     lost + timed-out + in-flight, at every step;
 //   - the per-node residency counters sum to the number of live
 //     (not-yet-detached, not-yet-done) flights, and every per-node count
 //     matches a direct census of flight positions.
 //
-// CI runs the package under -race, so the test also certifies the
-// counter bookkeeping involves no hidden shared state.
+// A third of the trials enable the deadlock-escape configuration (flight
+// timeouts, gridlock detection, bubble admission) so timed-out kills are
+// exercised against the same invariants, and the trials cycle through
+// intra-step shard counts 1/2/3 — the census and the timeout path live in
+// the serial commit, and this is where that claim is audited. CI runs the
+// package under -race, so the test also certifies the counter bookkeeping
+// involves no hidden shared state.
 func TestContentionConservation(t *testing.T) {
 	for trial := 0; trial < 24; trial++ {
 		trial := trial
@@ -47,14 +52,28 @@ func TestContentionConservation(t *testing.T) {
 					sched = s
 				}
 			}
-			e := New(md, 1, sched)
-			e.EnableContention(ContentionConfig{
+			cfg := ContentionConfig{
 				LinkRate:     1 + r.Intn(2),
 				NodeCapacity: r.Intn(3) * 4, // 0 (unbounded), 4 or 8
-			})
+			}
+			if trial%3 == 0 {
+				// Escape-mechanism trials: tight buffers so stalls (and under
+				// bad luck genuine cycles) occur, a short timeout so kills
+				// actually fire, detection enabled, bubble on finite buffers.
+				cfg.NodeCapacity = 2 + r.Intn(3)
+				cfg.FlightTimeout = 3 + r.Intn(4)
+				cfg.GridlockWindow = 2
+				cfg.Bubble = r.Bool(0.5)
+			}
+			e := New(md, 1, sched)
+			e.EnableContention(cfg)
+			if shards := 1 + trial%3; shards > 1 {
+				e.SetShards(shards)
+				defer e.SetShards(1)
+			}
 
 			routers := []route.Router{route.Limited{}, route.Congested{}, route.Blind{}}
-			var injected, delivered, unreachable, lost int
+			var injected, delivered, unreachable, lost, timedOut int
 			audit := func(step int) {
 				t.Helper()
 				live := 0
@@ -65,9 +84,9 @@ func TestContentionConservation(t *testing.T) {
 					}
 					census[f.Msg.Cur]++
 				}
-				if got := injected - delivered - unreachable - lost - live; got != 0 {
-					t.Fatalf("step %d: conservation broken: injected %d != delivered %d + unreachable %d + lost %d + in-flight %d",
-						step, injected, delivered, unreachable, lost, live)
+				if got := injected - delivered - unreachable - lost - timedOut - live; got != 0 {
+					t.Fatalf("step %d: conservation broken: injected %d != delivered %d + unreachable %d + lost %d + timed-out %d + in-flight %d",
+						step, injected, delivered, unreachable, lost, timedOut, live)
 				}
 				sum := 0
 				for id := 0; id < shape.NumNodes(); id++ {
@@ -84,11 +103,18 @@ func TestContentionConservation(t *testing.T) {
 				}
 			}
 
+			// Escape trials funnel everything into one hotspot: the
+			// congestion tree around it is what stalls flights past the
+			// timeout, so the TimedOut branch of the partition is exercised.
+			hot := grid.NodeID(shape.NumNodes() - 1)
 			for step := 0; step < 60; step++ {
 				// A burst of injections at enabled, admitted sources.
 				for k := r.Intn(6); k > 0; k-- {
 					src := grid.NodeID(r.Intn(shape.NumNodes()))
 					dst := grid.NodeID(r.Intn(shape.NumNodes()))
+					if cfg.FlightTimeout > 0 {
+						dst = hot
+					}
 					if src == dst || m.Status(src) != mesh.Enabled || !e.Admit(src) {
 						continue
 					}
@@ -106,11 +132,17 @@ func TestContentionConservation(t *testing.T) {
 						unreachable++
 					case f.Msg.Lost:
 						lost++
+					case f.Msg.TimedOut:
+						timedOut++
 					default:
 						t.Fatalf("detached flight not terminal: %v", f.Msg)
 					}
 				})
 				audit(step)
+			}
+			if cfg.FlightTimeout > 0 {
+				t.Logf("escape trial (cap=%d timeout=%d bubble=%v): %d timed-out kills",
+					cfg.NodeCapacity, cfg.FlightTimeout, cfg.Bubble, timedOut)
 			}
 		})
 	}

@@ -50,6 +50,13 @@ type Flight struct {
 	// belongs to.
 	EventIdxAt []int
 
+	// StallAge counts the consecutive contention steps this flight has
+	// spent in place without terminating: it increments every step the
+	// flight neither moves nor reaches a terminal state, and resets to 0 on
+	// any move. FlightTimeout kills a flight whose StallAge reaches the
+	// threshold; the gridlock detector uses the same census in aggregate.
+	StallAge int
+
 	// resident marks that the flight is counted in the contention model's
 	// per-node residency (cleared when the count is released).
 	resident bool
@@ -109,6 +116,31 @@ type ContentionConfig struct {
 	// holding that many, and injection at a full source is refused
 	// (Admit). 0 means unbounded buffering.
 	NodeCapacity int
+
+	// GridlockWindow enables gridlock detection: K consecutive steps in
+	// which no active flight moves or terminates, while the active
+	// population is nonzero, latch the Gridlocked state (injections alone
+	// are not progress — a frozen population stays frozen no matter how
+	// many newcomers squeeze in behind it). The latch clears the first step
+	// any flight makes progress again, so escape mechanisms can recover a
+	// detected gridlock. 0 disables detection.
+	GridlockWindow int
+
+	// FlightTimeout kills a flight that has stalled in place for this many
+	// consecutive steps (Flight.StallAge): the message is marked TimedOut,
+	// a terminal state the next DetachDone harvests like any other, which
+	// releases its buffer slot and — in a closed-loop workload — re-arms
+	// the source's window slot for a retry. 0 disables timeouts.
+	FlightTimeout int
+
+	// Bubble enables bubble-style admission: injection requires the source
+	// buffer to retain at least one free slot after the new flight is
+	// admitted (Admit demands resident+1 < NodeCapacity). In-transit moves
+	// are slot-neutral under the existing gate, so with every buffer keeping
+	// a bubble, the buffer-cycle deadlock that finite capacities invite
+	// cannot form by construction. Requires NodeCapacity >= 2 to admit
+	// anything; ignored when NodeCapacity is unbounded.
+	Bubble bool
 }
 
 // contention is the engine's per-step arbitration state. served/dirty
@@ -136,6 +168,16 @@ type contention struct {
 	resident    []int32 // active flights currently at each node
 	numDirs     int32
 	gateFn      route.Gate // bound method value, built once at enable
+
+	// Gridlock-detector state (GridlockWindow > 0). zeroStreak counts
+	// consecutive zero-progress steps with nonzero population; gridlocked
+	// is the current latch. gridlockAt/recoverAt log the first episode:
+	// the step the detector first fired and the first subsequent step with
+	// progress (-1 = never).
+	zeroStreak int
+	gridlocked bool
+	gridlockAt int
+	recoverAt  int
 }
 
 // The engine is the contention model's load view: routers reach Resident
@@ -248,13 +290,47 @@ func (e *Engine) LinkPending(from grid.NodeID, dir grid.Dir) int {
 
 // Admit reports whether a new flight may be injected at src under the
 // configured node capacity. Without contention (or with unbounded
-// capacity) every injection is admitted.
+// capacity) every injection is admitted. With Bubble admission the source
+// must keep one slot free after the injection, so the effective injection
+// limit is NodeCapacity-1.
 func (e *Engine) Admit(src grid.NodeID) bool {
 	c := &e.ctn
 	if !c.enabled || c.cfg.NodeCapacity <= 0 {
 		return true
 	}
-	return int(c.resident[src]) < c.cfg.NodeCapacity
+	limit := c.cfg.NodeCapacity
+	if c.cfg.Bubble {
+		limit--
+	}
+	return int(c.resident[src]) < limit
+}
+
+// Gridlocked reports whether the zero-progress detector is currently
+// latched: GridlockWindow consecutive steps saw a nonzero flight population
+// make no progress at all. The latch clears as soon as any flight moves or
+// terminates (e.g. a FlightTimeout kill), so under an escape mechanism a
+// gridlock is a transient, not a verdict.
+func (e *Engine) Gridlocked() bool { return e.ctn.enabled && e.ctn.gridlocked }
+
+// GridlockStep returns the 1-based step at which the detector first fired
+// in this run, or 0 if it never has. The first episode is latched across
+// recoveries so time-to-recovery stays measurable after the fact.
+func (e *Engine) GridlockStep() int {
+	if !e.ctn.enabled || e.ctn.gridlockAt < 0 {
+		return 0
+	}
+	return e.ctn.gridlockAt + 1
+}
+
+// GridlockRecovery returns the number of steps between the detector first
+// firing and the first subsequent step with progress (time-to-recovery), or
+// 0 if the detector never fired or the run never recovered.
+func (e *Engine) GridlockRecovery() int {
+	c := &e.ctn
+	if !c.enabled || c.gridlockAt < 0 || c.recoverAt < 0 {
+		return 0
+	}
+	return c.recoverAt - c.gridlockAt
 }
 
 // resetContention clears the arbitration counters without resizing.
@@ -275,6 +351,10 @@ func (e *Engine) resetContention() {
 	for i := range c.resident {
 		c.resident[i] = 0
 	}
+	c.zeroStreak = 0
+	c.gridlocked = false
+	c.gridlockAt = -1
+	c.recoverAt = -1
 }
 
 // gate implements route.Gate: a traversal is granted while the link has
@@ -410,6 +490,7 @@ func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
 	if f.resident {
 		e.ctn.resident[src]++
 	}
+	f.StallAge = 0
 	f.stepStable = route.StepStable(r)
 	f.pdOK = false
 	e.flights = append(e.flights, f)
@@ -460,8 +541,25 @@ func (e *Engine) Step() {
 		if e.shards.n > 1 {
 			e.propose()
 		}
+		// The serial commit doubles as the progress census: progressed
+		// counts flights that moved or reached a terminal state this step,
+		// active counts flights still live afterwards. Both are computed in
+		// the always-serial commit, so the census — and everything built on
+		// it (gridlock detection, timeouts) — is byte-identical at every
+		// shard count.
+		progressed, active := 0, 0
 		for _, f := range e.flights {
 			if f.Msg.Done() {
+				continue
+			}
+			if c.cfg.FlightTimeout > 0 && f.StallAge >= c.cfg.FlightTimeout {
+				// Stalled in place past the timeout: kill the flight back to
+				// its source. The terminal transition counts as progress (the
+				// population shrank), residency is released by the next
+				// DetachDone harvest, and any sharded proposal is discarded.
+				f.Msg.TimedOut = true
+				f.pdOK = false
+				progressed++
 				continue
 			}
 			before := f.Msg.Cur
@@ -471,9 +569,42 @@ func (e *Engine) Step() {
 			} else {
 				route.AdvanceGated(&f.Ctx, f.Router, f.Msg, c.gateFn)
 			}
-			if cur := f.Msg.Cur; cur != before && f.resident {
-				c.resident[before]--
-				c.resident[cur]++
+			switch cur := f.Msg.Cur; {
+			case cur != before:
+				if f.resident {
+					c.resident[before]--
+					c.resident[cur]++
+				}
+				f.StallAge = 0
+				progressed++
+			case f.Msg.Done():
+				// Terminal without a move (unreachable verdict, or lost to a
+				// fault under its feet): still progress.
+				progressed++
+			default:
+				f.StallAge++
+			}
+			if !f.Msg.Done() {
+				active++
+			}
+		}
+		if c.cfg.GridlockWindow > 0 {
+			if active > 0 && progressed == 0 {
+				c.zeroStreak++
+				if !c.gridlocked && c.zeroStreak >= c.cfg.GridlockWindow {
+					c.gridlocked = true
+					if c.gridlockAt < 0 {
+						c.gridlockAt = e.step
+					}
+				}
+			} else {
+				c.zeroStreak = 0
+				if c.gridlocked {
+					c.gridlocked = false
+					if c.recoverAt < 0 {
+						c.recoverAt = e.step
+					}
+				}
 			}
 		}
 	} else {
@@ -578,21 +709,67 @@ func (e *Engine) Done() bool {
 	return e.Model.Quiescent()
 }
 
-// Run steps the engine until Done or maxSteps, finalizing the last event
-// record. It returns the number of steps executed.
-func (e *Engine) Run(maxSteps int) int {
-	start := e.step
-	for !e.Done() && e.step-start < maxSteps {
-		e.Step()
+// StopReason says why Run or RunFlights stopped stepping. The distinction
+// matters most for StopGridlocked: before gridlock detection, a deadlocked
+// run spun to StopMaxSteps and was indistinguishable from one that merely
+// needed a bigger budget.
+type StopReason uint8
+
+const (
+	// StopDone: the run completed (Done for Run; all flights terminal for
+	// RunFlights).
+	StopDone StopReason = iota
+	// StopMaxSteps: the step budget ran out with work still pending.
+	StopMaxSteps
+	// StopGridlocked: the contention engine's zero-progress detector
+	// latched (GridlockWindow consecutive dead steps), so further stepping
+	// cannot make progress without an escape mechanism.
+	StopGridlocked
+)
+
+// String implements fmt.Stringer for StopReason.
+func (s StopReason) String() string {
+	switch s {
+	case StopDone:
+		return "done"
+	case StopMaxSteps:
+		return "max-steps"
+	case StopGridlocked:
+		return "gridlocked"
 	}
-	e.finalizeLastEvent()
-	return e.step - start
+	return fmt.Sprintf("StopReason(%d)", uint8(s))
 }
 
-// RunFlights steps the engine until every flight terminates (or maxSteps),
-// without waiting for model quiescence. It returns the steps executed.
-func (e *Engine) RunFlights(maxSteps int) int {
+// Run steps the engine until Done, gridlock detection, or maxSteps,
+// finalizing the last event record. It returns the number of steps executed
+// and why stepping stopped.
+func (e *Engine) Run(maxSteps int) (int, StopReason) {
 	start := e.step
+	reason := StopMaxSteps
+	for e.step-start < maxSteps {
+		if e.Done() {
+			reason = StopDone
+			break
+		}
+		if e.Gridlocked() {
+			reason = StopGridlocked
+			break
+		}
+		e.Step()
+	}
+	if reason == StopMaxSteps && e.Done() {
+		reason = StopDone // finished exactly as the budget ran out
+	}
+	e.finalizeLastEvent()
+	return e.step - start, reason
+}
+
+// RunFlights steps the engine until every flight terminates, gridlock
+// detection, or maxSteps, without waiting for model quiescence. It returns
+// the steps executed and why stepping stopped.
+func (e *Engine) RunFlights(maxSteps int) (int, StopReason) {
+	start := e.step
+	reason := StopMaxSteps
 	for e.step-start < maxSteps {
 		active := false
 		for _, f := range e.flights {
@@ -602,10 +779,27 @@ func (e *Engine) RunFlights(maxSteps int) int {
 			}
 		}
 		if !active {
+			reason = StopDone
+			break
+		}
+		if e.Gridlocked() {
+			reason = StopGridlocked
 			break
 		}
 		e.Step()
 	}
+	if reason == StopMaxSteps {
+		active := false
+		for _, f := range e.flights {
+			if !f.Msg.Done() {
+				active = true
+				break
+			}
+		}
+		if !active {
+			reason = StopDone
+		}
+	}
 	e.finalizeLastEvent()
-	return e.step - start
+	return e.step - start, reason
 }

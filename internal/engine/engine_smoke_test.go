@@ -35,7 +35,7 @@ func TestSmokeDynamicRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	steps := eng.RunFlights(1000)
+	steps, _ := eng.RunFlights(1000)
 	t.Logf("finished in %d steps: %v", steps, fl.Msg)
 	if !fl.Msg.Arrived {
 		t.Fatalf("message did not arrive: %v", fl.Msg)

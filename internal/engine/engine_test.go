@@ -166,7 +166,7 @@ func TestDoneAndRun(t *testing.T) {
 	if eng.Done() {
 		t.Fatal("engine done before running")
 	}
-	steps := eng.Run(1000)
+	steps, _ := eng.Run(1000)
 	if !eng.Done() {
 		t.Fatalf("engine not done after %d steps", steps)
 	}

@@ -21,7 +21,11 @@ package route
 //     least Margin, so equal-load oscillation is impossible and the
 //     decision is a pure function of (mesh, records, header, load view).
 
-import "ndmesh/internal/grid"
+import (
+	"fmt"
+
+	"ndmesh/internal/grid"
+)
 
 // CongestionConfig tunes the congestion-aware tie-breaking. The zero value
 // selects the defaults, so Congested{} is ready to use.
@@ -45,6 +49,32 @@ type CongestionConfig struct {
 	// uniform traffic; eager mode reacts earlier under smooth asymmetric
 	// load at the price of that pathology.
 	Eager bool
+}
+
+// CongestionPresetByName resolves a named tie-breaking profile, the
+// user-facing alternative to the three raw numeric knobs:
+//
+//   - "off": load tie-breaking effectively disabled — the margin is set so
+//     high no realizable load advantage clears it, pinning the router to
+//     Limited's choices. (Zero weights would NOT do this: norm() maps the
+//     all-zero config to the defaults, so "off" must win through the
+//     margin.)
+//   - "mild": the stall-gated defaults with a margin of 2 — a message
+//     deviates only after personally stalling, and only for a clear load
+//     advantage. Safe under uniform traffic.
+//   - "aggressive": eager adaptivity at margin 1 with residency weighted
+//     double — reacts before stalling and on the smallest advantage, at
+//     the price of noise-driven deviation under uniform load.
+func CongestionPresetByName(name string) (CongestionConfig, error) {
+	switch name {
+	case "off":
+		return CongestionConfig{Margin: 1 << 30, NodeWeight: 1, LinkWeight: 1}, nil
+	case "mild":
+		return CongestionConfig{Margin: 2, NodeWeight: 1, LinkWeight: 1}, nil
+	case "aggressive":
+		return CongestionConfig{Margin: 1, NodeWeight: 2, LinkWeight: 1, Eager: true}, nil
+	}
+	return CongestionConfig{}, fmt.Errorf("route: unknown congestion preset %q (want off|mild|aggressive)", name)
 }
 
 // norm returns the config with defaults applied.

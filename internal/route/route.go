@@ -175,9 +175,12 @@ type Message struct {
 	// noise-driven herding. Always false outside contention mode.
 	stalled bool
 
-	// Arrived, Unreachable, Lost are the terminal states. Lost marks the
-	// pathological dynamic case where the backtrack target itself failed.
-	Arrived, Unreachable, Lost bool
+	// Arrived, Unreachable, Lost, TimedOut are the terminal states. Lost
+	// marks the pathological dynamic case where the backtrack target itself
+	// failed. TimedOut marks a flight the contention engine killed back to
+	// its source after stalling in place past the configured timeout — the
+	// deadlock-escape path; routers never set it themselves.
+	Arrived, Unreachable, Lost, TimedOut bool
 }
 
 // NewMessage builds a path-setup message from src to dst.
@@ -201,7 +204,7 @@ func (msg *Message) Reset(src, dst grid.NodeID) {
 	clear(msg.used)
 	msg.Hops, msg.Backtracks, msg.Steps, msg.Waits = 0, 0, 0, 0
 	msg.stalled = false
-	msg.Arrived, msg.Unreachable, msg.Lost = false, false, false
+	msg.Arrived, msg.Unreachable, msg.Lost, msg.TimedOut = false, false, false, false
 }
 
 // Stalled reports whether the message's most recent step was a contention
@@ -209,7 +212,9 @@ func (msg *Message) Reset(src, dst grid.NodeID) {
 func (msg *Message) Stalled() bool { return msg.stalled }
 
 // Done reports whether the message reached a terminal state.
-func (msg *Message) Done() bool { return msg.Arrived || msg.Unreachable || msg.Lost }
+func (msg *Message) Done() bool {
+	return msg.Arrived || msg.Unreachable || msg.Lost || msg.TimedOut
+}
 
 // Used returns the used-direction set recorded at node id.
 func (msg *Message) Used(id grid.NodeID) grid.DirSet { return msg.used[id] }
@@ -228,6 +233,8 @@ func (msg *Message) String() string {
 		state = "unreachable"
 	case msg.Lost:
 		state = "lost"
+	case msg.TimedOut:
+		state = "timed-out"
 	}
 	return fmt.Sprintf("msg %d->%d at %d (%s, hops=%d backtracks=%d steps=%d)",
 		msg.Src, msg.Dst, msg.Cur, state, msg.Hops, msg.Backtracks, msg.Steps)

@@ -43,6 +43,20 @@ type ClosedLoop struct {
 	outstanding []int
 	inFlight    int
 	r           *rng.Source
+
+	// Retry state (ConfigureRetry). A timed-out request releases its slot
+	// like any other terminal outcome, but the node then backs off: it
+	// offers nothing until blockedUntil, with the delay growing
+	// exponentially in the node's consecutive-timeout count (attempts) plus
+	// a uniform jitter drawn from the same stream as everything else — in
+	// harvest order, which the engine keeps deterministic. Any successful
+	// delivery at the node resets the streak. backoff == 0 still re-arms
+	// the slot (immediate retry next step), it just skips the delay.
+	backoff      int
+	attempts     []int
+	blockedUntil []int
+	step         int // Step() calls so far — the backoff clock
+	retried      int
 }
 
 // NewClosedLoop builds a closed-loop source in which every node keeps up to
@@ -52,13 +66,34 @@ func NewClosedLoop(shape *grid.Shape, pat Pattern, window int, r *rng.Source) *C
 		window = 1
 	}
 	return &ClosedLoop{
-		shape:       shape,
-		pat:         pat,
-		window:      window,
-		outstanding: make([]int, shape.NumNodes()),
-		r:           r,
+		shape:        shape,
+		pat:          pat,
+		window:       window,
+		outstanding:  make([]int, shape.NumNodes()),
+		attempts:     make([]int, shape.NumNodes()),
+		blockedUntil: make([]int, shape.NumNodes()),
+		r:            r,
 	}
 }
+
+// ConfigureRetry sets the base backoff (in steps) applied when a timed-out
+// request is re-armed: attempt k waits base<<(k-1) steps (the shift capped
+// at backoffMaxShift) plus a uniform jitter of up to the same magnitude.
+// base <= 0 means retry with no delay.
+func (c *ClosedLoop) ConfigureRetry(base int) {
+	if base < 0 {
+		base = 0
+	}
+	c.backoff = base
+}
+
+// backoffMaxShift caps the exponential backoff so the delay stays bounded
+// (base<<8 steps plus jitter) no matter how long a node's timeout streak
+// runs.
+const backoffMaxShift = 8
+
+// Retried returns how many timed-out requests have been re-armed for retry.
+func (c *ClosedLoop) Retried() int { return c.retried }
 
 // Window returns the per-node outstanding-request bound.
 func (c *ClosedLoop) Window() int { return c.window }
@@ -78,6 +113,9 @@ func (c *ClosedLoop) InFlight() int { return c.inFlight }
 func (c *ClosedLoop) Step(emit func(src, dst grid.NodeID) bool) {
 	n := c.shape.NumNodes()
 	for node := 0; node < n; node++ {
+		if c.step < c.blockedUntil[node] {
+			continue // backing off after a timeout; no draws, no offers
+		}
 		for c.outstanding[node] < c.window {
 			src := grid.NodeID(node)
 			dst := c.pat.Dest(src, c.r)
@@ -88,16 +126,50 @@ func (c *ClosedLoop) Step(emit func(src, dst grid.NodeID) bool) {
 			c.inFlight++
 		}
 	}
+	c.step++
 }
 
 // Release frees one outstanding slot at src: the request injected there
 // reached a terminal state (delivered, unreachable or lost — all three
 // must release, or faults would leak the window shut). The slot is
-// reusable from the next Step on.
+// reusable from the next Step on. A release also ends the node's
+// consecutive-timeout streak: the network is moving traffic out of this
+// node again, so the next timeout backs off from the base delay.
 func (c *ClosedLoop) Release(src grid.NodeID) {
 	if c.outstanding[src] <= 0 {
 		panic("traffic: ClosedLoop.Release without an outstanding request")
 	}
 	c.outstanding[src]--
 	c.inFlight--
+	c.attempts[src] = 0
+}
+
+// Timeout frees the slot of a timed-out request at src and re-arms it
+// under exponential backoff: the node offers nothing until
+// base<<min(streak-1, backoffMaxShift) steps plus a uniform jitter of the
+// same magnitude have passed. The jitter is drawn from the loop's own
+// stream at harvest time — the engine harvests in flight-injection order,
+// so the draw sequence (and with it the whole run) stays deterministic.
+// Every Timeout counts as one retry: the request is back in the node's
+// window and will be re-offered (with a fresh destination draw) when the
+// backoff expires.
+func (c *ClosedLoop) Timeout(src grid.NodeID) {
+	if c.outstanding[src] <= 0 {
+		panic("traffic: ClosedLoop.Timeout without an outstanding request")
+	}
+	c.outstanding[src]--
+	c.inFlight--
+	c.attempts[src]++
+	c.retried++
+	if c.backoff > 0 {
+		shift := c.attempts[src] - 1
+		if shift > backoffMaxShift {
+			shift = backoffMaxShift
+		}
+		delay := c.backoff << shift
+		delay += c.r.Intn(delay) // jitter: [0, delay)
+		if until := c.step + delay; until > c.blockedUntil[src] {
+			c.blockedUntil[src] = until
+		}
+	}
 }

@@ -149,3 +149,98 @@ func TestClosedLoopReleaseUnderflowPanics(t *testing.T) {
 	}()
 	cl.Release(0)
 }
+
+// TestClosedLoopTimeoutBackoff pins the retry path's arithmetic: a timeout
+// re-arms the slot under a delay of base<<(streak-1) plus a jitter of up to
+// the same magnitude, consecutive timeouts double the band, and a Release
+// (a delivery) resets the streak to the base band.
+func TestClosedLoopTimeoutBackoff(t *testing.T) {
+	shape := grid.MustShape(2, 2)
+	pat, _ := ByName(shape, "uniform")
+	const base = 4
+	cl := NewClosedLoop(shape, pat, 1, rng.New(7))
+	cl.ConfigureRetry(base)
+
+	// Fill every window, then watch node 0 alone.
+	cl.Step(func(src, dst grid.NodeID) bool { return true })
+
+	// silentSteps runs Step until node 0 offers again (accepting the offer)
+	// and returns how many steps it stayed silent.
+	silentSteps := func() int {
+		t.Helper()
+		for silent := 0; ; silent++ {
+			offered := false
+			cl.Step(func(src, dst grid.NodeID) bool {
+				if src == 0 {
+					offered = true
+				}
+				return true
+			})
+			if offered {
+				return silent
+			}
+			if silent > 20*base {
+				t.Fatal("node 0 never offered again; backoff stuck")
+			}
+		}
+	}
+
+	cl.Timeout(0) // streak 1: delay in [base, 2*base)
+	if cl.Retried() != 1 {
+		t.Fatalf("Retried = %d after one timeout, want 1", cl.Retried())
+	}
+	if s := silentSteps(); s < base || s >= 2*base {
+		t.Errorf("first timeout backed off %d steps, want [%d, %d)", s, base, 2*base)
+	}
+	cl.Timeout(0) // streak 2: delay in [2*base, 4*base)
+	if s := silentSteps(); s < 2*base || s >= 4*base {
+		t.Errorf("second timeout backed off %d steps, want [%d, %d)", s, 2*base, 4*base)
+	}
+	cl.Release(0) // delivery ends the streak
+	if s := silentSteps(); s != 0 {
+		t.Errorf("release left node 0 silent for %d steps, want immediate top-up", s)
+	}
+	cl.Timeout(0) // streak restarts at 1: back to [base, 2*base)
+	if s := silentSteps(); s < base || s >= 2*base {
+		t.Errorf("post-release timeout backed off %d steps, want [%d, %d)", s, base, 2*base)
+	}
+	if cl.Retried() != 3 {
+		t.Fatalf("Retried = %d after three timeouts, want 3", cl.Retried())
+	}
+}
+
+// TestClosedLoopTimeoutNoBackoff pins the base == 0 configuration: the slot
+// re-arms with no delay (the retry is offered on the very next step) and no
+// randomness is consumed for jitter.
+func TestClosedLoopTimeoutNoBackoff(t *testing.T) {
+	shape := grid.MustShape(2, 2)
+	pat, _ := ByName(shape, "uniform")
+	cl := NewClosedLoop(shape, pat, 1, rng.New(3))
+	cl.Step(func(src, dst grid.NodeID) bool { return true })
+	cl.Timeout(0)
+	offered := false
+	cl.Step(func(src, dst grid.NodeID) bool {
+		if src == 0 {
+			offered = true
+		}
+		return true
+	})
+	if !offered {
+		t.Fatal("zero-backoff timeout did not retry on the next step")
+	}
+}
+
+// TestClosedLoopTimeoutUnderflowPanics mirrors the Release underflow guard:
+// a Timeout for a node with nothing outstanding is a harvest-accounting bug
+// and must fail loudly.
+func TestClosedLoopTimeoutUnderflowPanics(t *testing.T) {
+	shape := grid.MustShape(2, 2)
+	pat, _ := ByName(shape, "uniform")
+	cl := NewClosedLoop(shape, pat, 1, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Timeout on an empty window did not panic")
+		}
+	}()
+	cl.Timeout(0)
+}

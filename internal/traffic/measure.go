@@ -40,6 +40,11 @@ const (
 	// (including the drain) ran out — at saturation the backlog never
 	// drains, and these count against accepted throughput.
 	Unfinished
+	// TimedOut flights were killed back to their source by the contention
+	// engine's flight timeout after stalling past the threshold (the
+	// deadlock-escape path). In a closed-loop workload the source's window
+	// slot re-arms and the request is retried under backoff.
+	TimedOut
 )
 
 // Collector accumulates one load run's per-flight observations into a
@@ -56,6 +61,7 @@ type Collector struct {
 	DroppedMeasured                    int
 	deliveredMeasured, unreachMeasured int
 	lostMeasured, unfinishedMeasured   int
+	timedOutMeasured, retriedMeasured  int
 
 	latencies []int // of measured delivered flights
 }
@@ -98,7 +104,20 @@ func (c *Collector) Finish(startStep, latency int, oc Outcome) {
 		c.lostMeasured++
 	case Unfinished:
 		c.unfinishedMeasured++
+	case TimedOut:
+		c.timedOutMeasured++
 	}
+}
+
+// Retry records that a measured flight's timeout re-armed its source slot
+// for a retry (closed-loop workloads only). Each timeout re-arms at most
+// once, so a request that times out k times contributes k retries — the
+// "retried counted once per timeout" side of the conservation invariant.
+func (c *Collector) Retry(startStep int) {
+	if !c.ph.Measured(startStep) {
+		return
+	}
+	c.retriedMeasured++
 }
 
 // Result folds the run into a LoadPoint for a mesh of numNodes sources
@@ -113,6 +132,8 @@ func (c *Collector) Result(rate float64, numNodes int) LoadPoint {
 		Unreachable: c.unreachMeasured,
 		Lost:        c.lostMeasured,
 		Unfinished:  c.unfinishedMeasured,
+		TimedOut:    c.timedOutMeasured,
+		Retried:     c.retriedMeasured,
 		Latency:     Summarize(c.latencies),
 	}
 	if steps := c.ph.Measure * numNodes; steps > 0 {
@@ -133,6 +154,21 @@ type LoadPoint struct {
 	// injected flights' outcomes. All restrict to the measurement window.
 	Offered, Injected, Dropped               int
 	Delivered, Unreachable, Lost, Unfinished int
+	// TimedOut counts injected flights the engine's flight timeout killed
+	// back to their source; Retried counts the timeouts that re-armed a
+	// closed-loop window slot (each timeout at most once). Conservation:
+	// Injected == Delivered + Unreachable + Lost + TimedOut + Unfinished,
+	// with retried requests re-counted under Offered/Injected when the
+	// source re-offers them.
+	TimedOut, Retried int
+	// Gridlocked reports that the engine's zero-progress detector was still
+	// latched when the run ended: a terminal gridlock no escape mechanism
+	// resolved (the run was cut short rather than spun to its budget).
+	// GridlockStep is the 1-based step the detector first fired (0 = never);
+	// RecoverySteps is the time from first detection to the first
+	// subsequent progress (0 = never fired or never recovered).
+	Gridlocked                  bool
+	GridlockStep, RecoverySteps int
 	// Latency summarizes the delivered measured flights' step counts.
 	Latency LatencySummary
 }

@@ -53,6 +53,15 @@ type Trace struct {
 	// (CongestionConfig) is router-side state, not workload, and is not
 	// recorded.
 	Lambda, LinkRate, NodeCapacity int
+	// FlightTimeout, GridlockWindow and Bubble record the origin run's
+	// deadlock-escape configuration (format v2; v1 traces read as all
+	// zero). Like the fields above they are engine-side state that changes
+	// admission verdicts and flight populations, so replays inherit them by
+	// default. The workload-side retry backoff is NOT recorded: the
+	// recorded offer stream already embeds its effect, and a replay never
+	// re-runs the closed-loop logic.
+	FlightTimeout, GridlockWindow int
+	Bubble                        bool
 	// Faults is the origin run's fault schedule (empty for fault-free).
 	Faults []fault.Event
 
@@ -155,10 +164,14 @@ func (p *TracePlayer) Step(emit func(src, dst grid.NodeID) bool) {
 // Binary encoding.
 
 // traceMagic opens every serialized trace; traceVersion is bumped on any
-// incompatible format change (readers reject unknown versions).
+// incompatible format change (readers reject unknown versions). Version 2
+// appended the deadlock-escape engine fields (FlightTimeout,
+// GridlockWindow, Bubble) after NodeCapacity; version 1 traces are still
+// readable and decode those fields as zero (escape mechanisms off, which
+// is what a v1 recording ran with).
 const (
 	traceMagic   = "NDWT"
-	traceVersion = 1
+	traceVersion = 2
 	// maxTraceDrain caps the decoded drain phase: drain steps run the
 	// engine without any recorded-offer witness to bound them, so a
 	// corrupt value must not turn replay into an unbounded computation.
@@ -191,6 +204,13 @@ func (t *Trace) Marshal() []byte {
 	buf = binary.AppendUvarint(buf, uint64(t.Lambda))
 	buf = binary.AppendUvarint(buf, uint64(t.LinkRate))
 	buf = binary.AppendUvarint(buf, uint64(t.NodeCapacity))
+	buf = binary.AppendUvarint(buf, uint64(t.FlightTimeout))
+	buf = binary.AppendUvarint(buf, uint64(t.GridlockWindow))
+	bubble := uint64(0)
+	if t.Bubble {
+		bubble = 1
+	}
+	buf = binary.AppendUvarint(buf, bubble)
 	buf = binary.AppendUvarint(buf, uint64(len(t.Faults)))
 	for _, ev := range t.Faults {
 		buf = binary.AppendUvarint(buf, uint64(ev.Step))
@@ -217,8 +237,9 @@ func UnmarshalTrace(data []byte) (*Trace, error) {
 		return nil, fmt.Errorf("traffic: not a workload trace (bad magic)")
 	}
 	r := &uvarintReader{data: data[len(traceMagic):]}
-	if v := r.next(); v != traceVersion {
-		return nil, fmt.Errorf("traffic: unsupported trace version %d (want %d)", v, traceVersion)
+	version := r.next()
+	if version < 1 || version > traceVersion {
+		return nil, fmt.Errorf("traffic: unsupported trace version %d (want 1..%d)", version, traceVersion)
 	}
 	t := &Trace{}
 	nd := int(r.next())
@@ -252,6 +273,11 @@ func UnmarshalTrace(data []byte) (*Trace, error) {
 	t.Lambda = int(r.next32())
 	t.LinkRate = int(r.next32())
 	t.NodeCapacity = int(r.next32())
+	if version >= 2 {
+		t.FlightTimeout = int(r.next32())
+		t.GridlockWindow = int(r.next32())
+		t.Bubble = r.next()&1 != 0
+	}
 	// Every element count below is checked against the bytes actually left
 	// in the buffer (each fault event encodes to >= 3 bytes, each step
 	// count to >= 1, each offer pair to >= 2), so a corrupt or crafted

@@ -93,6 +93,19 @@ func TestTraceMarshalRoundTrip(t *testing.T) {
 	if !got.ClosedLoop || got.Window != 8 || got.Rate != 0 {
 		t.Fatalf("closed-loop metadata lost: %+v", got)
 	}
+
+	// The v2 escape-mechanism metadata (flight timeout, gridlock window,
+	// bubble admission) rides the same round trip.
+	tr.FlightTimeout = 16
+	tr.GridlockWindow = 8
+	tr.Bubble = true
+	got, err = UnmarshalTrace(tr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FlightTimeout != 16 || got.GridlockWindow != 8 || !got.Bubble {
+		t.Fatalf("escape-mechanism metadata lost: %+v", got)
+	}
 }
 
 // TestTracePlayerPastEnd pins the drain behavior: steps beyond the

@@ -1,0 +1,121 @@
+package ndmesh
+
+// Replay-across-routers comparison: one recorded workload trace fanned over
+// several routers, one row per router. Because every arm replays the exact
+// same offer stream and fault schedule (a traffic.TracePlayer holds its own
+// cursor; the trace itself is read-only during replay), any difference in
+// the resulting load points is attributable to the router alone — the
+// trace-driven analogue of E20's controlled congestion comparison, without
+// having to re-draw the workload per arm.
+//
+// The engine-side inheritance rules are exactly LoadRun's (applyReplay is
+// shared): every override field left zero is taken from the trace, so a
+// single-router comparison reproduces the origin run byte-for-byte.
+//
+// Determinism follows the repository contract: one rng stream is split per
+// router job in row order (replay consumes no randomness, but the split
+// keeps the derivation uniform with every other sweep), each job writes
+// only its own result slot, and aggregation is serial — byte-identical for
+// every worker and shard count.
+
+import (
+	"fmt"
+
+	"ndmesh/internal/par"
+	"ndmesh/internal/route"
+	"ndmesh/internal/traffic"
+)
+
+// ReplayCompareOptions configures a replay-across-routers comparison sweep.
+type ReplayCompareOptions struct {
+	// Trace is the recorded workload every router arm replays.
+	Trace *traffic.Trace
+	// Routers is the comparison axis; one row per entry, in order.
+	Routers []string
+	// The remaining fields are engine-side overrides with LoadRun's replay
+	// inheritance: zero means "take the trace's recorded value" (negative
+	// NodeCapacity forces unbounded buffers; Router and Congestion are never
+	// recorded, so they always come from here).
+	Lambda                 int
+	LinkRate, NodeCapacity int
+	Congestion             route.CongestionConfig
+	// FlightTimeout/RetryBackoff/Bubble/GridlockWindow configure the
+	// deadlock-escape mechanisms (see SaturationOptions); FlightTimeout and
+	// GridlockWindow inherit from the trace when zero, and a recorded
+	// bubble run keeps bubble admission on every arm.
+	FlightTimeout, RetryBackoff int
+	Bubble                      bool
+	GridlockWindow              int
+	// Workers is the parallel fan-out width; < 1 means GOMAXPROCS. Shards
+	// is the intra-step shard-worker count per arm. Both leave the rows
+	// byte-identical at every value.
+	Workers, Shards int
+}
+
+// ReplayCompareRow is one router arm's replay of the shared trace.
+type ReplayCompareRow struct {
+	Router string
+	Point  traffic.LoadPoint
+}
+
+// ReplayCompareSweep replays one trace across every router with all
+// available cores.
+func ReplayCompareSweep(opt ReplayCompareOptions, seed uint64) ([]ReplayCompareRow, error) {
+	opt.Workers = 0
+	return replayCompareSweep(opt, seed)
+}
+
+// ReplayCompareSweepWorkers is ReplayCompareSweep with an explicit worker
+// count (each router arm is one parallel job).
+func ReplayCompareSweepWorkers(opt ReplayCompareOptions, seed uint64, workers int) ([]ReplayCompareRow, error) {
+	opt.Workers = workers
+	return replayCompareSweep(opt, seed)
+}
+
+func replayCompareSweep(opt ReplayCompareOptions, seed uint64) ([]ReplayCompareRow, error) {
+	if opt.Trace == nil {
+		return nil, fmt.Errorf("ndmesh: replay comparison needs a trace")
+	}
+	if len(opt.Routers) == 0 {
+		return nil, fmt.Errorf("ndmesh: replay comparison needs at least one router")
+	}
+	// Resolve the trace inheritance once, through the same rules LoadRun
+	// applies, so every arm replays the identical effective configuration.
+	base := LoadOptions{
+		Lambda: opt.Lambda, LinkRate: opt.LinkRate, NodeCapacity: opt.NodeCapacity,
+		Congestion:    opt.Congestion,
+		FlightTimeout: opt.FlightTimeout, RetryBackoff: opt.RetryBackoff,
+		Bubble: opt.Bubble, GridlockWindow: opt.GridlockWindow,
+		Shards: opt.Shards,
+		Replay: opt.Trace,
+	}
+	base.applyReplay()
+	sopt := SaturationOptions{
+		Dims: base.Dims, Lambda: base.Lambda,
+		Warmup: base.Warmup, Measure: base.Measure, Drain: base.Drain,
+		LinkRate: base.LinkRate, NodeCapacity: base.NodeCapacity,
+		Congestion:    base.Congestion,
+		FlightTimeout: base.FlightTimeout, RetryBackoff: base.RetryBackoff,
+		Bubble: base.Bubble, GridlockWindow: base.GridlockWindow,
+		Shards: base.Shards,
+	}
+	if err := validateLoadShape(&sopt); err != nil {
+		return nil, err
+	}
+	jobs := len(opt.Routers)
+	rngs := splitN(seed, jobs)
+	rows := make([]ReplayCompareRow, jobs)
+	err := par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
+		wl := workload{rate: base.Rate, window: base.Window, replay: opt.Trace}
+		pt, err := p.loadPoint(sopt, wl, opt.Routers[j], rngs[j])
+		if err != nil {
+			return err
+		}
+		rows[j] = ReplayCompareRow{Router: opt.Routers[j], Point: pt}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -47,6 +47,19 @@ type SaturationOptions struct {
 	// Congestion tunes the "congested" router's load tie-breaking (zero
 	// value = route.CongestionConfig defaults); other routers ignore it.
 	Congestion route.CongestionConfig
+	// FlightTimeout > 0 kills any flight stalled in place that many
+	// consecutive steps (engine.ContentionConfig.FlightTimeout); in
+	// closed-loop runs the source retries it under exponential backoff
+	// (RetryBackoff is the base delay in steps; 0 retries immediately).
+	FlightTimeout, RetryBackoff int
+	// Bubble enables bubble admission: injection must leave >= 1 free slot
+	// in the source's input buffer. Requires NodeCapacity >= 2 (with
+	// unbounded buffers it is a no-op).
+	Bubble bool
+	// GridlockWindow > 0 enables the engine's zero-progress gridlock
+	// detector with that window; an escape-less run that gridlocks is cut
+	// short (and reported Gridlocked) instead of spinning to its budget.
+	GridlockWindow int
 	// Faults > 0 overlays a dynamic fault schedule (FaultInterval steps
 	// apart, clustered into one block when Clustered) on every run.
 	Faults, FaultInterval int
@@ -205,6 +218,18 @@ func validateLoadShape(opt *SaturationOptions) error {
 	if opt.Shards < 1 {
 		opt.Shards = 1
 	}
+	if opt.FlightTimeout < 0 {
+		opt.FlightTimeout = 0
+	}
+	if opt.RetryBackoff < 0 {
+		opt.RetryBackoff = 0
+	}
+	if opt.GridlockWindow < 0 {
+		opt.GridlockWindow = 0
+	}
+	if opt.Bubble && opt.NodeCapacity == 1 {
+		return fmt.Errorf("ndmesh: bubble admission with capacity 1 can never admit a flight (NodeCapacity must be >= 2)")
+	}
 	return nil
 }
 
@@ -326,6 +351,7 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 		// the trace carries it: a replay inherits these unless the caller
 		// overrides deliberately.
 		wl.record.Lambda, wl.record.LinkRate, wl.record.NodeCapacity = opt.Lambda, opt.LinkRate, opt.NodeCapacity
+		wl.record.FlightTimeout, wl.record.GridlockWindow, wl.record.Bubble = opt.FlightTimeout, opt.GridlockWindow, opt.Bubble
 		src = traffic.NewTraceRecorder(src, wl.record) // resets the trace...
 		wl.record.Faults = append(wl.record.Faults, recFaults...)
 		// ... so the fault schedule is attached afterwards.
@@ -334,10 +360,16 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 
 	eng := sim.eng()
 	eng.EnableContention(engine.ContentionConfig{
-		LinkRate:     opt.LinkRate,
-		NodeCapacity: opt.NodeCapacity,
+		LinkRate:       opt.LinkRate,
+		NodeCapacity:   opt.NodeCapacity,
+		GridlockWindow: opt.GridlockWindow,
+		FlightTimeout:  opt.FlightTimeout,
+		Bubble:         opt.Bubble,
 	})
 	eng.SetShards(opt.Shards)
+	if cl != nil && opt.FlightTimeout > 0 {
+		cl.ConfigureRetry(opt.RetryBackoff)
+	}
 	// Every exit path must hand the pooled engine back clean: past-saturation
 	// cells end the drain with backlog flights still attached and counted in
 	// the residency census, and a persistent or sharded reuse of the engine
@@ -390,11 +422,21 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 			oc = traffic.Unreachable
 		case fl.Msg.Lost:
 			oc = traffic.Lost
+		case fl.Msg.TimedOut:
+			oc = traffic.TimedOut
 		}
 		if cl != nil {
-			// Every terminal outcome frees the source's window slot —
-			// delivered or not — or faults would wedge the loop shut.
-			cl.Release(fl.Msg.Src)
+			if oc == traffic.TimedOut {
+				// A timeout kill re-arms the slot for a retry under backoff
+				// instead of plainly releasing it.
+				cl.Timeout(fl.Msg.Src)
+				col.Retry(fl.StartStep)
+			} else {
+				// Every other terminal outcome frees the source's window
+				// slot — delivered or not — or faults would wedge the loop
+				// shut.
+				cl.Release(fl.Msg.Src)
+			}
 		}
 		col.Finish(fl.StartStep, fl.Msg.Steps, oc)
 	}
@@ -409,6 +451,15 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 		}
 		eng.Step()
 		eng.DetachDone(harvest)
+		if eng.Gridlocked() && opt.FlightTimeout == 0 {
+			// Terminal gridlock: without flight timeouts nothing can break
+			// the buffer cycle, so the remaining steps would spin without a
+			// single commit. Cut the run short; the backlog is counted
+			// unfinished below and the point is reported Gridlocked. With
+			// timeouts enabled the detector latches only transiently (the
+			// next kill is progress), so the run keeps stepping.
+			break
+		}
 	}
 	// Whatever survived the drain is unfinished backlog (the deferred
 	// cleanup detaches it afterwards).
@@ -417,7 +468,12 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 			col.Finish(fl.StartStep, fl.Msg.Steps, traffic.Unfinished)
 		}
 	}
-	return col.Result(rate, shape.NumNodes()), nil
+	pt := col.Result(rate, shape.NumNodes())
+	// Read the detector before the deferred cleanup resets it.
+	pt.Gridlocked = eng.Gridlocked()
+	pt.GridlockStep = eng.GridlockStep()
+	pt.RecoverySteps = eng.GridlockRecovery()
+	return pt, nil
 }
 
 // LoadOptions configures a single one-shot load run.
@@ -431,8 +487,17 @@ type LoadOptions struct {
 	Warmup, Measure, Drain int
 	LinkRate, NodeCapacity int
 	Congestion             route.CongestionConfig
-	Faults, FaultInterval  int
-	Clustered              bool
+	// FlightTimeout/RetryBackoff/Bubble/GridlockWindow configure the
+	// deadlock-escape mechanisms; see the SaturationOptions fields of the
+	// same names. On replay, FlightTimeout and GridlockWindow are inherited
+	// from the trace wherever left zero, and Bubble is inherited when the
+	// trace recorded it (there is no force-off override for a recorded
+	// bubble run — re-record instead).
+	FlightTimeout, RetryBackoff int
+	Bubble                      bool
+	GridlockWindow              int
+	Faults, FaultInterval       int
+	Clustered                   bool
 	// Shards is the intra-step shard-worker count (< 2 means serial); the
 	// point is byte-identical for every value.
 	Shards int
@@ -460,6 +525,43 @@ type LoadOptions struct {
 	Replay *traffic.Trace
 }
 
+// applyReplay resolves the trace-inheritance rules into opt: the trace is
+// authoritative for the workload side (dims, rate/window, phase lengths,
+// fault schedule), and the engine-side configuration is inherited for every
+// field the caller left zero, so a plain replay reproduces the origin run
+// byte-identically. Factored out of LoadRun so ReplayCompareSweep applies
+// the identical rules — a replay behaves the same whichever entry point
+// runs it. opt.Replay must be non-nil.
+func (opt *LoadOptions) applyReplay() {
+	tr := opt.Replay
+	opt.Dims = append([]int(nil), tr.Dims...)
+	opt.Rate = tr.Rate
+	opt.Window = tr.Window
+	opt.Warmup, opt.Measure, opt.Drain = tr.Warmup, tr.Measure, tr.Drain
+	opt.Faults = 0
+	if opt.Lambda == 0 {
+		opt.Lambda = tr.Lambda
+	}
+	if opt.LinkRate == 0 {
+		opt.LinkRate = tr.LinkRate
+	}
+	switch {
+	case opt.NodeCapacity == 0:
+		opt.NodeCapacity = tr.NodeCapacity
+	case opt.NodeCapacity < 0:
+		opt.NodeCapacity = 0 // explicit unbounded override
+	}
+	if opt.FlightTimeout == 0 {
+		opt.FlightTimeout = tr.FlightTimeout
+	}
+	if opt.GridlockWindow == 0 {
+		opt.GridlockWindow = tr.GridlockWindow
+	}
+	if tr.Bubble {
+		opt.Bubble = true
+	}
+}
+
 // LoadRun executes one contention-mode load run and returns its
 // latency-throughput point — the single-cell convenience entry for
 // library callers who want one point, not a sweep (cmd/loadgen goes
@@ -473,27 +575,7 @@ func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
 			// silently replaying (and re-recording) an empty workload.
 			return traffic.LoadPoint{}, fmt.Errorf("ndmesh: Record and Replay must be distinct traces")
 		}
-		// The trace is authoritative for the workload side; the
-		// engine-side configuration is inherited for every field the
-		// caller left zero, so a plain replay reproduces the origin run.
-		tr := opt.Replay
-		opt.Dims = append([]int(nil), tr.Dims...)
-		opt.Rate = tr.Rate
-		opt.Window = tr.Window
-		opt.Warmup, opt.Measure, opt.Drain = tr.Warmup, tr.Measure, tr.Drain
-		opt.Faults = 0
-		if opt.Lambda == 0 {
-			opt.Lambda = tr.Lambda
-		}
-		if opt.LinkRate == 0 {
-			opt.LinkRate = tr.LinkRate
-		}
-		switch {
-		case opt.NodeCapacity == 0:
-			opt.NodeCapacity = tr.NodeCapacity
-		case opt.NodeCapacity < 0:
-			opt.NodeCapacity = 0 // explicit unbounded override
-		}
+		opt.applyReplay()
 	}
 	sopt := SaturationOptions{
 		Dims: opt.Dims, Lambda: opt.Lambda,
@@ -501,8 +583,10 @@ func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
 		Rates: []float64{opt.Rate}, Process: opt.Process,
 		Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
 		LinkRate: opt.LinkRate, NodeCapacity: opt.NodeCapacity,
-		Congestion: opt.Congestion,
-		Faults:     opt.Faults, FaultInterval: opt.FaultInterval,
+		Congestion:    opt.Congestion,
+		FlightTimeout: opt.FlightTimeout, RetryBackoff: opt.RetryBackoff,
+		Bubble: opt.Bubble, GridlockWindow: opt.GridlockWindow,
+		Faults: opt.Faults, FaultInterval: opt.FaultInterval,
 		Clustered: opt.Clustered,
 		Shards:    opt.Shards,
 	}
