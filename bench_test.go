@@ -20,6 +20,7 @@ import (
 	"ndmesh/internal/ident"
 	"ndmesh/internal/info"
 	"ndmesh/internal/mesh"
+	"ndmesh/internal/probe"
 	"ndmesh/internal/rng"
 	"ndmesh/internal/route"
 	"ndmesh/internal/traffic"
@@ -754,4 +755,77 @@ func BenchmarkSaturationPoint(b *testing.B) {
 	b.ReportMetric(float64(last.Delivered), "delivered")
 	b.ReportMetric(last.LatMean, "lat_mean")
 	b.ReportMetric(float64(last.LatP99), "lat_p99")
+}
+
+// BenchmarkProbedContentionStep (BENCH_07) measures the tentpole overhead
+// claim of the telemetry layer: the same near-saturation 32x32 step, bare
+// vs observed by the FULL recorder set (time series, heatmap, latency
+// histogram, live snapshot) with a census flush every step. The probed
+// arm must stay at 0 allocs/op (TestProbedStepAllocFree asserts it) and
+// within a few percent of the bare step — the census accumulates O(live
+// flights) increments inside loops the commit already runs, and the flush
+// folds O(nodes + dirty links) counters against a step that is itself
+// O(nodes + flights). The deep steady-state population (open-loop
+// injection past the saturation point, as in BenchmarkShardedContentionStep)
+// is the honest denominator: on a near-empty mesh the flush would dominate
+// and the ratio would mean nothing.
+func BenchmarkProbedContentionStep(b *testing.B) {
+	run := func(b *testing.B, probed bool) {
+		sim := MustSimulation(Config{Dims: []int{32, 32}})
+		eng := sim.eng()
+		eng.EnableContention(engine.ContentionConfig{LinkRate: 1, NodeCapacity: 4})
+		shape := sim.gridShape()
+		set := &probe.Set{}
+		set.AddProbe(probe.NewTimeSeries(256))
+		set.AddProbe(probe.NewHeatmap(shape.NumNodes(), shape.NumDirs()))
+		set.AddProbe(&probe.Snapshot{})
+		set.AddLatency(probe.NewLatencyHist())
+		harvest := func(fl *engine.Flight) {
+			if fl.Msg.Arrived {
+				set.ObserveLatency(fl.Msg.Steps)
+			}
+		}
+		if probed {
+			eng.SetProbe(set)
+		}
+		pat, err := traffic.ByName(shape, "uniform")
+		if err != nil {
+			b.Fatal(err)
+		}
+		proc, err := traffic.ProcessByName("bernoulli")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := traffic.NewGenerator(shape, pat, proc, 0.22, rng.New(1))
+		step := func() {
+			gen.Step(func(src, dst grid.NodeID) bool {
+				if !eng.Admit(src) {
+					return false
+				}
+				if _, err := eng.Inject(src, dst, route.Limited{}); err != nil {
+					b.Fatal(err)
+				}
+				return true
+			})
+			eng.Step()
+			if probed {
+				eng.DetachDone(harvest)
+				eng.FlushCensus()
+			} else {
+				eng.DetachDone(nil)
+			}
+		}
+		for i := 0; i < 512; i++ {
+			step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(eng.Flights())), "flights")
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("probed", func(b *testing.B) { run(b, true) })
 }

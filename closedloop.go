@@ -20,6 +20,7 @@ package ndmesh
 import (
 	"fmt"
 
+	"ndmesh/internal/engine"
 	"ndmesh/internal/grid"
 	"ndmesh/internal/par"
 	"ndmesh/internal/route"
@@ -59,6 +60,16 @@ type ClosedLoopOptions struct {
 	// Shards is the intra-step shard-worker count per cell (< 2 means
 	// serial); like Workers, every value yields byte-identical rows.
 	Shards int
+	// Probe/ProbeEvery attach a per-step census probe (see the
+	// SaturationOptions fields of the same names); a probed sweep must be
+	// a single cell.
+	// Probe and Progress carry json:"-" like the SaturationOptions fields
+	// of the same names (manifest embedding).
+	Probe      engine.Probe `json:"-"`
+	ProbeEvery int
+	// Progress, when non-nil, is called after every completed cell with
+	// (done, total); must be safe for concurrent use.
+	Progress func(done, total int) `json:"-"`
 }
 
 // DefaultClosedLoop returns the standard E21 configuration: an 8x8 mesh,
@@ -143,6 +154,7 @@ func closedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error
 		Faults: opt.Faults, FaultInterval: opt.FaultInterval,
 		Clustered: opt.Clustered,
 		Shards:    opt.Shards,
+		Probe:     opt.Probe, ProbeEvery: opt.ProbeEvery,
 	}
 	if err := validateLoadShape(&sopt); err != nil {
 		return nil, err
@@ -154,8 +166,12 @@ func closedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error
 	// One job per (pattern, window, router) cell, pattern-major — the order
 	// the rows are reported in and the order the job streams are split in.
 	jobs := len(opt.Patterns) * len(opt.Windows) * len(opt.Routers)
+	if opt.Probe != nil && jobs > 1 {
+		return nil, fmt.Errorf("ndmesh: a probed sweep must be a single cell (got %d); probes are stateful accumulators and parallel cells would interleave their censuses", jobs)
+	}
 	rngs := splitN(seed, jobs)
 	rows := make([]ClosedLoopRow, jobs)
+	progress := progressCounter(opt.Progress, jobs)
 	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
 		pi := j / (len(opt.Windows) * len(opt.Routers))
 		wi := j / len(opt.Routers) % len(opt.Windows)
@@ -187,6 +203,7 @@ func closedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error
 			row.InjectedRate = float64(pt.Injected) / float64(steps)
 		}
 		rows[j] = row
+		progress()
 		return nil
 	})
 	if err != nil {

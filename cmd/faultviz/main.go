@@ -8,6 +8,10 @@
 //	faultviz -dims 14x14 -faults 4,4:5,5:9,9 -every 2
 //	faultviz -dims 10x10x10 -faults 5,5,5:6,6,6 -slice 0,0,5 -every 4
 //	faultviz -dims 14x14 -faults 6,6:7,7 -recover 6,6 -every 3
+//	faultviz -heatmap hm.csv -metric stalls
+//
+// With -heatmap, faultviz instead renders a loadgen telemetry heatmap
+// (see heatmap.go) and the fault-animation flags are ignored.
 package main
 
 import (
@@ -30,8 +34,21 @@ func main() {
 		sliceStr  = flag.String("slice", "", "fixed coordinates of the rendered slice (n components)")
 		every     = flag.Int("every", 3, "render every this many rounds")
 		maxRounds = flag.Int("max-rounds", 200, "stop after this many rounds")
+		heatmap   = flag.String("heatmap", "", "render a loadgen heatmap CSV (mesh shape from its .manifest.json) instead of animating faults")
+		metric    = flag.String("metric", "resident", "heatmap field: resident (per-node occupancy) | stalls (per-node link-stall rollup)")
+		value     = flag.String("value", "total", "heatmap statistic: total (time-integrated) | peak")
 	)
 	flag.Parse()
+
+	if *heatmap != "" {
+		if !validHeatmapMetric(*metric) {
+			log.Fatalf("unknown -metric %q (want resident | stalls)", *metric)
+		}
+		if err := renderHeatmap(*heatmap, *metric, *value, *sliceStr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	dims, err := cliutil.ParseDims(*dimsFlag)
 	if err != nil {

@@ -20,10 +20,21 @@
 //	loadgen -dims 8x8 -rates 0.2 -patterns uniform -trace-record w.ndwt
 //	loadgen -trace-replay w.ndwt -routers congested -capacity 8
 //	loadgen -trace-replay w.ndwt -routers limited,congested,blind,dor
+//	loadgen -dims 8x8 -rates 0.35 -timeseries ts.csv -heatmap hm.csv -hist lat.csv
+//	loadgen -dims 16x16 -rates 0.3 -measure 20000 -probe-every 16 -timeseries ts.csv -debug-addr :6060
 //
 // With several -routers, -trace-replay becomes a comparison sweep: every
 // router replays the identical offer stream and fault schedule, one row
 // per router, so the rows differ by router choice alone.
+//
+// The telemetry flags (-timeseries, -heatmap, -hist, -probe-every,
+// -debug-addr) attach internal/probe recorders to a single run: a
+// per-step census time series, per-node residency + per-link stall
+// heatmaps, and the full delivered-latency distribution, each with a
+// .manifest.json sidecar recording the schema, configuration and seed.
+// Observation is read-only — the printed row is byte-identical with or
+// without probes. -debug-addr additionally serves net/http/pprof and a
+// live JSON census at /debug/census for the life of the process.
 package main
 
 import (
@@ -72,6 +83,12 @@ func main() {
 		traceRecord  = flag.String("trace-record", "", "record the run's offered workload (single cell only) into this file")
 		traceReplay  = flag.String("trace-replay", "", "replay a recorded workload trace from this file (overrides -dims/-rates/-windows/-patterns/-faults and the phase lengths)")
 		csv          = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		timeseries   = flag.String("timeseries", "", "write the run's per-step census time series to this CSV (single run only; a .manifest.json sidecar is written alongside)")
+		heatmapOut   = flag.String("heatmap", "", "write per-node residency + per-link stall heatmap accumulators to this CSV (single run only; render with faultviz -heatmap)")
+		histOut      = flag.String("hist", "", "write the full delivered-latency distribution (log-bucketed histogram) to this CSV (single run only)")
+		probeEvery   = flag.Int("probe-every", 1, "flush the census every N steps (counters aggregate the interval, gauges sample its last step)")
+		progressFlag = flag.Bool("progress", false, "print per-cell sweep completion to stderr")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and a JSON census snapshot (/debug/census) on this address for the life of the process, e.g. :6060 (single run only)")
 	)
 	flag.Parse()
 
@@ -81,6 +98,11 @@ func main() {
 	}
 	routers := cliutil.SplitList(*routersFlag)
 	patterns := cliutil.SplitList(*patternsFlag)
+	pf := probeFlags{
+		timeseries: *timeseries, heatmap: *heatmapOut, hist: *histOut,
+		every: *probeEvery, debugAddr: *debugAddr,
+	}
+	progress := cliutil.Progress(*progressFlag, "loadgen")
 	congestion := route.CongestionConfig{Margin: *margin, NodeWeight: *nodeWeight, LinkWeight: *linkWeight}
 	if *congPreset != "" {
 		congestion, err = route.CongestionPresetByName(*congPreset)
@@ -170,13 +192,15 @@ func main() {
 			if *traceRecord != "" {
 				log.Fatal("-trace-record with -trace-replay needs exactly one -routers entry")
 			}
+			requireSingleRun(pf, "replay router arms", len(routers))
 			ropt := ndmesh.ReplayCompareOptions{
 				Trace: tr, Routers: routers,
 				Lambda: lambdaOverride, LinkRate: linkRateOverride, NodeCapacity: capacityOverride,
 				Congestion:    congestion,
 				FlightTimeout: *timeout, RetryBackoff: *retryBackoff,
 				Bubble: *bubble, GridlockWindow: *gridlockWin,
-				Shards: *shards,
+				Shards:   *shards,
+				Progress: progress,
 			}
 			rows, err := ndmesh.ReplayCompareSweepWorkers(ropt, *seed, *workers)
 			if err != nil {
@@ -206,9 +230,21 @@ func main() {
 			// of the input (useful for normalizing or re-homing traces).
 			opt.Record = &traffic.Trace{}
 		}
+		tel, err := newTelemetry(pf, tr.Dims, tr.Warmup+tr.Measure+tr.Drain, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tel != nil {
+			opt.Probe, opt.ProbeEvery = tel.set, pf.every
+		}
 		pt, err := ndmesh.LoadRun(opt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if tel != nil {
+			if err := tel.writeOutputs(manifestConfig(opt)); err != nil {
+				log.Fatal(err)
+			}
 		}
 		if *traceRecord != "" {
 			if err := os.WriteFile(*traceRecord, opt.Record.Marshal(), 0o644); err != nil {
@@ -261,9 +297,21 @@ func main() {
 			opt.Rate = rates[0]
 			workload = fmt.Sprintf("%s @%.3f", patterns[0], rates[0])
 		}
+		tel, err := newTelemetry(pf, dims, *warmup+*measure+*drain, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tel != nil {
+			opt.Probe, opt.ProbeEvery = tel.set, pf.every
+		}
 		pt, err := ndmesh.LoadRun(opt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if tel != nil {
+			if err := tel.writeOutputs(manifestConfig(opt)); err != nil {
+				log.Fatal(err)
+			}
 		}
 		if err := os.WriteFile(*traceRecord, opt.Record.Marshal(), 0o644); err != nil {
 			log.Fatal(err)
@@ -276,6 +324,11 @@ func main() {
 
 	// Closed-loop sweep (E21): windows replace rates as the load knob.
 	if len(windows) > 0 {
+		requireSingleRun(pf, "closed-loop cells", len(routers)*len(patterns)*len(windows))
+		tel, err := newTelemetry(pf, dims, *warmup+*measure+*drain, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
 		opt := ndmesh.ClosedLoopOptions{
 			Dims: dims, Lambda: *lambda,
 			Routers: routers, Patterns: patterns, Windows: windows,
@@ -285,11 +338,22 @@ func main() {
 			FlightTimeout: *timeout, RetryBackoff: *retryBackoff,
 			Bubble: *bubble, GridlockWindow: *gridlockWin,
 			Faults: *faults, FaultInterval: *interval, Clustered: *clustered,
-			Shards: *shards,
+			Shards:   *shards,
+			Progress: progress,
+		}
+		if tel != nil {
+			opt.Probe, opt.ProbeEvery = tel.set, pf.every
 		}
 		rows, err := ndmesh.ClosedLoopSweepWorkers(opt, *seed, *workers)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if tel != nil {
+			cfg := opt
+			cfg.Probe, cfg.Progress = nil, nil
+			if err := tel.writeOutputs(cfg); err != nil {
+				log.Fatal(err)
+			}
 		}
 		title := fmt.Sprintf("closed loop: %s, link-rate=%d, capacity=%d, F=%d, warmup/measure/drain=%d/%d/%d",
 			*dimsFlag, *linkRate, *capacity, *faults, *warmup, *measure, *drain)
@@ -306,6 +370,11 @@ func main() {
 	}
 
 	rates, err := cliutil.ParseRates(*ratesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	requireSingleRun(pf, "open-loop cells", len(routers)*len(patterns)*len(rates))
+	tel, err := newTelemetry(pf, dims, *warmup+*measure+*drain, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -330,10 +399,21 @@ func main() {
 		FaultInterval:  *interval,
 		Clustered:      *clustered,
 		Shards:         *shards,
+		Progress:       progress,
+	}
+	if tel != nil {
+		opt.Probe, opt.ProbeEvery = tel.set, pf.every
 	}
 	rows, err := ndmesh.SaturationSweepWorkers(opt, *seed, *workers)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tel != nil {
+		cfg := opt
+		cfg.Probe, cfg.Progress = nil, nil
+		if err := tel.writeOutputs(cfg); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	title := fmt.Sprintf("saturation: %s, process=%s, link-rate=%d, capacity=%d, F=%d, warmup/measure/drain=%d/%d/%d",

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"ndmesh"
+	"ndmesh/internal/cliutil"
 	"ndmesh/internal/route"
 	"ndmesh/internal/stats"
 )
@@ -27,13 +28,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | congestion | closedloop | gridlock | all")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		trials  = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		workers = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs); results are identical for every value")
-		shards  = flag.Int("shards", 1, "intra-step shard workers per load cell (saturation/congestion); results are identical for every value")
-		preset  = flag.String("congestion", "", "congested-router tuning preset for the load experiments: off | mild | aggressive (empty = library defaults)")
+		exp      = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | congestion | closedloop | gridlock | all")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		trials   = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs); results are identical for every value")
+		shards   = flag.Int("shards", 1, "intra-step shard workers per load cell (saturation/congestion); results are identical for every value")
+		preset   = flag.String("congestion", "", "congested-router tuning preset for the load experiments: off | mild | aggressive (empty = library defaults)")
+		progress = flag.Bool("progress", false, "print per-cell completion of the load experiments (saturation/congestion/closedloop/gridlock) to stderr")
 	)
 	flag.Parse()
 
@@ -67,10 +69,18 @@ func main() {
 	run("oscillation", func() (*stats.Table, error) { return oscillationTable(*seed, *trials, *workers) })
 	run("theorems", func() (*stats.Table, error) { return theoremsTable(*seed, *trials, *workers) })
 	run("traffic", func() (*stats.Table, error) { return trafficTable(*seed, *workers) })
-	run("saturation", func() (*stats.Table, error) { return saturationTable(*seed, *workers, *shards, congestion) })
-	run("congestion", func() (*stats.Table, error) { return congestionTable(*seed, *workers, *shards, congestion) })
-	run("closedloop", func() (*stats.Table, error) { return closedLoopTable(*seed, *workers, *shards, congestion) })
-	run("gridlock", func() (*stats.Table, error) { return gridlockTable(*seed, *workers, *shards, congestion) })
+	run("saturation", func() (*stats.Table, error) {
+		return saturationTable(*seed, *workers, *shards, congestion, loadProgress(*progress, "saturation"))
+	})
+	run("congestion", func() (*stats.Table, error) {
+		return congestionTable(*seed, *workers, *shards, congestion, loadProgress(*progress, "congestion"))
+	})
+	run("closedloop", func() (*stats.Table, error) {
+		return closedLoopTable(*seed, *workers, *shards, congestion, loadProgress(*progress, "closedLoop"))
+	})
+	run("gridlock", func() (*stats.Table, error) {
+		return gridlockTable(*seed, *workers, *shards, congestion, loadProgress(*progress, "gridlock"))
+	})
 
 	if *exp != "all" {
 		switch *exp {
@@ -81,6 +91,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// loadProgress builds the per-cell stderr progress callback for the load
+// experiments (nil when -progress is off).
+func loadProgress(enabled bool, exp string) func(done, total int) {
+	return cliutil.Progress(enabled, "sweep "+exp)
 }
 
 func trafficTable(seed uint64, workers int) (*stats.Table, error) {
@@ -98,10 +114,11 @@ func trafficTable(seed uint64, workers int) (*stats.Table, error) {
 	return tab, nil
 }
 
-func congestionTable(seed uint64, workers, shards int, congestion route.CongestionConfig) (*stats.Table, error) {
+func congestionTable(seed uint64, workers, shards int, congestion route.CongestionConfig, progress func(done, total int)) (*stats.Table, error) {
 	opt := ndmesh.DefaultCongestionShift()
 	opt.Shards = shards
 	opt.Congestion = congestion
+	opt.Progress = progress
 	rows, summaries, err := ndmesh.CongestionShiftSweepWorkers(opt, seed, workers)
 	if err != nil {
 		return nil, err
@@ -121,10 +138,11 @@ func congestionTable(seed uint64, workers, shards int, congestion route.Congesti
 	return tab, nil
 }
 
-func closedLoopTable(seed uint64, workers, shards int, congestion route.CongestionConfig) (*stats.Table, error) {
+func closedLoopTable(seed uint64, workers, shards int, congestion route.CongestionConfig, progress func(done, total int)) (*stats.Table, error) {
 	opt := ndmesh.DefaultClosedLoop()
 	opt.Shards = shards
 	opt.Congestion = congestion
+	opt.Progress = progress
 	rows, err := ndmesh.ClosedLoopSweepWorkers(opt, seed, workers)
 	if err != nil {
 		return nil, err
@@ -138,10 +156,11 @@ func closedLoopTable(seed uint64, workers, shards int, congestion route.Congesti
 	return tab, nil
 }
 
-func gridlockTable(seed uint64, workers, shards int, congestion route.CongestionConfig) (*stats.Table, error) {
+func gridlockTable(seed uint64, workers, shards int, congestion route.CongestionConfig, progress func(done, total int)) (*stats.Table, error) {
 	opt := ndmesh.DefaultGridlock()
 	opt.Shards = shards
 	opt.Congestion = congestion
+	opt.Progress = progress
 	rows, err := ndmesh.GridlockSweepWorkers(opt, seed, workers)
 	if err != nil {
 		return nil, err
@@ -160,13 +179,14 @@ func gridlockTable(seed uint64, workers, shards int, congestion route.Congestion
 	return tab, nil
 }
 
-func saturationTable(seed uint64, workers, shards int, congestion route.CongestionConfig) (*stats.Table, error) {
+func saturationTable(seed uint64, workers, shards int, congestion route.CongestionConfig, progress func(done, total int)) (*stats.Table, error) {
 	opt := ndmesh.DefaultSaturation()
 	opt.Routers = []string{"limited", "congested", "blind"}
 	opt.Rates = []float64{0.05, 0.15, 0.3}
 	opt.Warmup, opt.Measure, opt.Drain = 32, 128, 128
 	opt.Shards = shards
 	opt.Congestion = congestion
+	opt.Progress = progress
 	rows, err := ndmesh.SaturationSweepWorkers(opt, seed, workers)
 	if err != nil {
 		return nil, err

@@ -48,6 +48,9 @@ type CongestionShiftOptions struct {
 	// Shards is the intra-step shard-worker count per cell run (< 2 means
 	// serial); like Workers, every value yields byte-identical rows.
 	Shards int
+	// Progress, when non-nil, is called after every completed cell with
+	// (done, total); must be safe for concurrent use.
+	Progress func(done, total int)
 }
 
 // DefaultCongestionShift returns the standard E20 configuration: an 8x8
@@ -144,6 +147,7 @@ func congestionShiftSweep(opt CongestionShiftOptions, seed uint64) ([]Congestion
 	jobs := len(opt.Patterns) * len(opt.Rates)
 	rngs := splitN(seed, jobs)
 	rows := make([]CongestionShiftRow, jobs)
+	progress := progressCounter(opt.Progress, jobs)
 	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
 		pattern := opt.Patterns[j/len(opt.Rates)]
 		rate := opt.Rates[j%len(opt.Rates)]
@@ -169,6 +173,7 @@ func congestionShiftSweep(opt CongestionShiftOptions, seed uint64) ([]Congestion
 			}
 		}
 		rows[j] = row
+		progress()
 		return nil
 	})
 	if err != nil {

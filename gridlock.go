@@ -80,6 +80,10 @@ type GridlockOptions struct {
 	// is the intra-step shard-worker count per run. Both leave the rows
 	// byte-identical at every value.
 	Workers, Shards int
+	// Progress, when non-nil, is called after every completed scenario
+	// cell (all its mechanism arms) with (done, total); must be safe for
+	// concurrent use.
+	Progress func(done, total int)
 }
 
 // DefaultGridlock returns the standard E22 configuration: an 8x8 mesh,
@@ -226,6 +230,7 @@ func gridlockSweep(opt GridlockOptions, seed uint64) ([]GridlockRow, error) {
 	jobs := len(opt.Patterns) * nw * nc * nf
 	rngs := splitN(seed, jobs)
 	rows := make([]GridlockRow, jobs*nm)
+	progress := progressCounter(opt.Progress, jobs)
 	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
 		pattern := opt.Patterns[j/(nw*nc*nf)]
 		window := opt.Windows[j/(nc*nf)%nw]
@@ -279,6 +284,7 @@ func gridlockSweep(opt GridlockOptions, seed uint64) ([]GridlockRow, error) {
 				LatP99:        pt.Latency.P99,
 			}
 		}
+		progress()
 		return nil
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ package cliutil
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -83,4 +84,18 @@ func ParseRates(s string) ([]float64, error) {
 		return nil, fmt.Errorf("no rates given")
 	}
 	return rates, nil
+}
+
+// Progress returns a (done, total) callback that prints per-cell sweep
+// completion to stderr (the sweeps call it from worker goroutines;
+// Fprintf on a shared os.File is atomic enough for single-line writes),
+// or nil when disabled — the sweep options treat a nil callback as "no
+// progress reporting".
+func Progress(enabled bool, label string) func(done, total int) {
+	if !enabled {
+		return nil
+	}
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "%s: %d/%d cells done\n", label, done, total)
+	}
 }

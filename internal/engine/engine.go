@@ -209,6 +209,12 @@ type Engine struct {
 
 	ctn    contention
 	shards shardSet
+
+	// probe, when non-nil, receives the per-step census assembled in the
+	// serial commit (see probe.go); census is the accumulator between
+	// flushes. Observation is read-only: no decision consults either.
+	probe  Probe
+	census StepCensus
 }
 
 // New builds an engine over a model with the given λ (rounds of information
@@ -405,6 +411,7 @@ func (e *Engine) Reset() {
 	e.evIdx = 0
 	e.step = 0
 	e.RoundsRun = 0
+	e.census = StepCensus{}
 }
 
 // ClearFlights retires every flight (recycling it for future Inject calls)
@@ -489,6 +496,9 @@ func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
 	f.resident = e.ctn.enabled
 	if f.resident {
 		e.ctn.resident[src]++
+		if e.probe != nil {
+			e.census.Injected++
+		}
 	}
 	f.StallAge = 0
 	f.stepStable = route.StepStable(r)
@@ -560,6 +570,9 @@ func (e *Engine) Step() {
 				f.Msg.TimedOut = true
 				f.pdOK = false
 				progressed++
+				if e.probe != nil {
+					e.census.TimedOut++
+				}
 				continue
 			}
 			before := f.Msg.Cur
@@ -577,12 +590,25 @@ func (e *Engine) Step() {
 				}
 				f.StallAge = 0
 				progressed++
+				if e.probe != nil {
+					e.census.Moves++
+					if m := f.Msg; m.Done() {
+						e.census.observeTerminal(m.Arrived, m.Unreachable, m.Lost, m.TimedOut)
+					}
+				}
 			case f.Msg.Done():
 				// Terminal without a move (unreachable verdict, or lost to a
 				// fault under its feet): still progress.
 				progressed++
+				if e.probe != nil {
+					m := f.Msg
+					e.census.observeTerminal(m.Arrived, m.Unreachable, m.Lost, m.TimedOut)
+				}
 			default:
 				f.StallAge++
+				if e.probe != nil {
+					e.census.Stalls++
+				}
 			}
 			if !f.Msg.Done() {
 				active++
@@ -606,6 +632,11 @@ func (e *Engine) Step() {
 					}
 				}
 			}
+		}
+		if e.probe != nil {
+			e.census.Steps++
+			e.census.InFlight = active
+			e.census.Gridlocked = c.gridlocked
 		}
 	} else {
 		for _, f := range e.flights {

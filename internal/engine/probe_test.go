@@ -1,0 +1,241 @@
+package engine
+
+// Census-probe tests at the engine level. The concrete recorders live in
+// internal/probe (which imports this package), so these tests use a
+// local fake to avoid the import cycle; the recorder-side behavior is
+// covered in internal/probe's own tests and the end-to-end byte-identity
+// tests at the repository root.
+
+import (
+	"testing"
+
+	"ndmesh/internal/grid"
+	"ndmesh/internal/route"
+)
+
+// censusLog is a fake Probe: it copies every flushed census (folding the
+// call-scoped slice views into owned snapshots).
+type censusLog struct {
+	rows     []StepCensus
+	resident [][]int32
+	stalls   [][]int32
+}
+
+func (c *censusLog) ObserveStep(cs StepCensus) {
+	res := append([]int32(nil), cs.Resident...)
+	var st []int32
+	for _, li := range cs.LinkStallsDirty {
+		if cs.LinkStalls[li] > 0 {
+			st = append(st, li, cs.LinkStalls[li])
+		}
+	}
+	cs.Resident, cs.LinkStalls, cs.LinkStallsDirty = nil, nil, nil
+	c.rows = append(c.rows, cs)
+	c.resident = append(c.resident, res)
+	c.stalls = append(c.stalls, st)
+}
+
+// TestProbeCensusCounts pins the per-step census against a fully
+// hand-checkable scenario: two flights contending for one link (see
+// TestContentionSerializesLink for the underlying arbitration pins).
+func TestProbeCensusCounts(t *testing.T) {
+	e, shape := newContentionEngine(t, 8, ContentionConfig{LinkRate: 1})
+	log := &censusLog{}
+	e.SetProbe(log)
+	src := shape.Index(grid.Coord{3, 3})
+	dst := shape.Index(grid.Coord{5, 3})
+	if _, err := e.Inject(src, dst, route.DOR{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Inject(src, dst, route.DOR{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		e.Step()
+		e.DetachDone(nil)
+		e.FlushCensus()
+	}
+	if len(log.rows) != 4 {
+		t.Fatalf("%d flushes, want 4", len(log.rows))
+	}
+	// Step 1: f1 moves, f2 loses arbitration. The injections happened
+	// before the first step, so they land in the first census.
+	r := log.rows[0]
+	if r.Step != 1 || r.Steps != 1 || r.Injected != 2 || r.Moves != 1 || r.Stalls != 1 || r.InFlight != 2 {
+		t.Fatalf("step 1 census %+v, want step=1 steps=1 injected=2 moves=1 stalls=1 inflight=2", r)
+	}
+	// The lost arbitration is charged to the +X link out of (3,3) —
+	// pending rotates at the next step's start, so the flush's LinkStalls
+	// view shows this step's denial.
+	wantLink := int32(src)*int32(shape.NumDirs()) + 0 // dir 0 = +X
+	if len(log.stalls[0]) != 2 || log.stalls[0][0] != wantLink || log.stalls[0][1] != 1 {
+		t.Fatalf("step 1 link stalls %v, want [%d 1]", log.stalls[0], wantLink)
+	}
+	// Residency at flush 1: f1 at (4,3), f2 still at (3,3).
+	if log.resident[0][src] != 1 || log.resident[0][shape.Index(grid.Coord{4, 3})] != 1 {
+		t.Fatalf("step 1 residency: src=%d mid=%d, want 1/1",
+			log.resident[0][src], log.resident[0][shape.Index(grid.Coord{4, 3})])
+	}
+	// Steps 2-4: f1 arrives at step 2 (distance 2), f2 at step 3.
+	if r := log.rows[1]; r.Delivered != 1 || r.Moves != 2 || r.InFlight != 1 {
+		t.Fatalf("step 2 census %+v, want delivered=1 moves=2 inflight=1", r)
+	}
+	if r := log.rows[2]; r.Delivered != 1 || r.Moves != 1 || r.InFlight != 0 {
+		t.Fatalf("step 3 census %+v, want delivered=1 moves=1 inflight=0", r)
+	}
+	if r := log.rows[3]; r.Steps != 1 || r.Delivered != 0 || r.Moves != 0 || r.Stalls != 0 {
+		t.Fatalf("step 4 census %+v, want an all-quiet step", r)
+	}
+}
+
+// TestProbeDecimation pins the aggregate-counters / sample-gauges
+// semantics of a decimated flush: one flush covering N steps reports the
+// sums of the counters and the last step's gauges.
+func TestProbeDecimation(t *testing.T) {
+	e, shape := newContentionEngine(t, 8, ContentionConfig{LinkRate: 1})
+	log := &censusLog{}
+	e.SetProbe(log)
+	src := shape.Index(grid.Coord{3, 3})
+	dst := shape.Index(grid.Coord{5, 3})
+	e.Inject(src, dst, route.DOR{})
+	e.Inject(src, dst, route.DOR{})
+	for i := 0; i < 4; i++ {
+		e.Step()
+		e.DetachDone(nil)
+	}
+	e.FlushCensus()
+	if len(log.rows) != 1 {
+		t.Fatalf("%d flushes, want 1", len(log.rows))
+	}
+	r := log.rows[0]
+	// Aggregates over all four steps; gauges from step 4 (quiet, empty).
+	if r.Step != 4 || r.Steps != 4 || r.Injected != 2 || r.Delivered != 2 || r.Moves != 4 || r.Stalls != 1 || r.InFlight != 0 {
+		t.Fatalf("decimated census %+v, want step=4 steps=4 injected=2 delivered=2 moves=4 stalls=1 inflight=0", r)
+	}
+}
+
+// TestProbeFlushEmptyIsNoOp pins that FlushCensus without a probe, or
+// with no steps covered, emits nothing.
+func TestProbeFlushEmptyIsNoOp(t *testing.T) {
+	e, _ := newContentionEngine(t, 4, ContentionConfig{LinkRate: 1})
+	e.FlushCensus() // no probe: must not panic
+	log := &censusLog{}
+	e.SetProbe(log)
+	e.FlushCensus() // no steps covered yet
+	if len(log.rows) != 0 {
+		t.Fatalf("flush with no covered steps emitted %d rows", len(log.rows))
+	}
+	e.Step()
+	e.FlushCensus()
+	e.FlushCensus() // immediately re-flushing covers zero steps
+	if len(log.rows) != 1 {
+		t.Fatalf("double flush emitted %d rows, want 1", len(log.rows))
+	}
+}
+
+// TestProbeTimeoutAndRetry pins the TimedOut classification of flights
+// killed by FlightTimeout, the NoteRetried report path (same flush as
+// the timeout), and the Gridlocked gauge around the episode.
+func TestProbeTimeoutAndRetry(t *testing.T) {
+	const window, timeout = 2, 4
+	// The minimal constructed deadlock: a head-on pair with capacity-1
+	// buffers wedges until the timeout kills both flights.
+	e, shape := newContentionEngine(t, 4, ContentionConfig{
+		LinkRate: 1, NodeCapacity: 1,
+		GridlockWindow: window, FlightTimeout: timeout,
+	})
+	log := &censusLog{}
+	e.SetProbe(log)
+	headOnPair(t, e, shape)
+	for i := 0; i < timeout+2; i++ {
+		e.Step()
+		e.DetachDone(func(fl *Flight) {
+			if fl.Msg.TimedOut {
+				e.NoteRetried()
+			}
+		})
+		e.FlushCensus()
+	}
+	timedOut, retried := 0, 0
+	for _, r := range log.rows {
+		timedOut += r.TimedOut
+		retried += r.Retried
+		if r.TimedOut != r.Retried {
+			t.Fatalf("census %+v: retry not in the same flush as its timeout", r)
+		}
+	}
+	if timedOut != 2 || retried != 2 {
+		t.Fatalf("census saw %d timeouts / %d retries, want 2/2", timedOut, retried)
+	}
+	// The detector latches after `window` dead steps and the kill step
+	// unlatches it: the gauge must show the episode.
+	if !log.rows[window-1].Gridlocked {
+		t.Fatalf("census %+v at detection step not gridlocked", log.rows[window-1])
+	}
+	if last := log.rows[len(log.rows)-1]; last.Gridlocked {
+		t.Fatalf("census %+v still gridlocked after the kills", last)
+	}
+}
+
+// TestSetProbeDetachesAndClears pins that SetProbe(nil) stops
+// accumulation and clears any partial census, so a pooled engine cannot
+// leak one run's census into the next.
+func TestSetProbeDetachesAndClears(t *testing.T) {
+	e, shape := newContentionEngine(t, 8, ContentionConfig{LinkRate: 1})
+	log := &censusLog{}
+	e.SetProbe(log)
+	src := shape.Index(grid.Coord{3, 3})
+	dst := shape.Index(grid.Coord{5, 3})
+	e.Inject(src, dst, route.DOR{})
+	e.Step() // accumulates, not flushed
+	e.SetProbe(nil)
+	e.SetProbe(log)
+	e.Step()
+	e.FlushCensus()
+	if len(log.rows) != 1 {
+		t.Fatalf("%d flushes, want 1", len(log.rows))
+	}
+	// Steps=1: the pre-detach step's accumulation must be gone.
+	if r := log.rows[0]; r.Steps != 1 || r.Injected != 0 {
+		t.Fatalf("census after re-attach %+v, want steps=1 injected=0", r)
+	}
+}
+
+// TestProbedStepMatchesUnprobed pins read-only observation at the engine
+// level: the same scenario stepped with and without a probe produces
+// identical flight outcomes.
+func TestProbedStepMatchesUnprobed(t *testing.T) {
+	outcome := func(probed bool) []int {
+		e, shape := newContentionEngine(t, 8, ContentionConfig{LinkRate: 1, NodeCapacity: 2})
+		if probed {
+			e.SetProbe(&censusLog{})
+		}
+		srcs := []grid.Coord{{1, 1}, {6, 1}, {1, 6}, {6, 6}, {3, 3}, {4, 4}}
+		dsts := []grid.Coord{{6, 6}, {1, 6}, {6, 1}, {1, 1}, {4, 3}, {3, 4}}
+		var flights []*Flight
+		for i := range srcs {
+			fl, err := e.Inject(shape.Index(srcs[i]), shape.Index(dsts[i]), route.Limited{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			flights = append(flights, fl)
+		}
+		for i := 0; i < 40; i++ {
+			e.Step()
+			if probed {
+				e.FlushCensus()
+			}
+		}
+		var out []int
+		for _, fl := range flights {
+			out = append(out, fl.Msg.Steps, fl.Msg.Waits, int(fl.Msg.Cur))
+		}
+		return out
+	}
+	plain, probed := outcome(false), outcome(true)
+	for i := range plain {
+		if plain[i] != probed[i] {
+			t.Fatalf("probed run diverged at %d: %v vs %v", i, plain, probed)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// FormatVersion is bumped whenever any telemetry CSV schema changes
+// incompatibly. Manifests carry it so consumers can refuse files they do
+// not understand.
+const FormatVersion = 1
+
+// Manifest is the sidecar written next to every telemetry output file
+// (<output>.manifest.json): enough to re-run the exact run that produced
+// the file and to parse it without guessing.
+type Manifest struct {
+	FormatVersion int      `json:"format_version"`
+	Kind          string   `json:"kind"`   // "timeseries" | "heatmap" | "hist"
+	Schema        []string `json:"schema"` // CSV column list, in order
+	Dims          []int    `json:"dims,omitempty"`
+	Seed          uint64   `json:"seed"`
+	ProbeEvery    int      `json:"probe_every"`
+	Config        any      `json:"config,omitempty"`
+}
+
+// Write emits the manifest as indented JSON to path+".manifest.json".
+func (m Manifest) Write(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path+".manifest.json", append(b, '\n'), 0o644)
+}
+
+// writeHeader emits a CSV header row from a schema column list.
+func writeHeader(w io.Writer, schema []string) error {
+	_, err := fmt.Fprintln(w, strings.Join(schema, ","))
+	return err
+}

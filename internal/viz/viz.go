@@ -97,3 +97,57 @@ func glyph(m *mesh.Mesh, opt Options, pathSet map[grid.NodeID]struct{}, id grid.
 	}
 	return GlyphEnabled
 }
+
+// HeatRamp is the 10-level intensity ramp RenderHeat draws with, dimmest
+// first: a space for zero, '@' for the field maximum.
+const HeatRamp = " .:-=+*#%@"
+
+// RenderHeat draws a per-node scalar field (indexed by NodeID, length
+// NumNodes) as an ASCII intensity map over the selected 2-D slice of the
+// shape, one ramp glyph per node, normalized against the field's global
+// maximum (an all-zero field renders all spaces). The AxisX/AxisY/Fixed
+// fields of Options select the slice exactly as Render does; the mesh-
+// and path-related fields are ignored. Rows print highest Y first, so +Y
+// points up, matching Render.
+func RenderHeat(shape *grid.Shape, field []float64, opt Options) string {
+	n := shape.Dims()
+	ax, ay := opt.AxisX, opt.AxisY
+	if ax == ay {
+		ax, ay = 0, min(1, n-1)
+	}
+	fixed := opt.Fixed
+	if len(fixed) != n {
+		fixed = make(grid.Coord, n)
+	}
+	var max float64
+	for _, v := range field {
+		if v > max {
+			max = v
+		}
+	}
+	ramp := []byte(HeatRamp)
+	var b strings.Builder
+	c := fixed.Clone()
+	for y := shape.Radix(ay) - 1; y >= 0; y-- {
+		for x := 0; x < shape.Radix(ax); x++ {
+			c[ax], c[ay] = x, y
+			id := shape.Index(c)
+			g := ramp[0]
+			if max > 0 && int(id) < len(field) && field[id] > 0 {
+				// Any nonzero value gets at least the first visible glyph;
+				// only the maximum reaches the last.
+				i := 1 + int(field[id]/max*float64(len(ramp)-2)+0.5)
+				if i >= len(ramp) {
+					i = len(ramp) - 1
+				}
+				g = ramp[i]
+			}
+			b.WriteByte(g)
+			if x < shape.Radix(ax)-1 {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -82,3 +82,44 @@ func TestRenderAxisSelection(t *testing.T) {
 		t.Fatalf("fault not in X-Z slice:\n%s", out)
 	}
 }
+
+// TestRenderHeat pins the intensity map: zero renders as space, any
+// nonzero value gets a visible glyph, the maximum gets the ramp's last
+// glyph, and rows print highest Y first.
+func TestRenderHeat(t *testing.T) {
+	shape, err := grid.NewShape(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := make([]float64, shape.NumNodes())
+	field[shape.Index(grid.Coord{1, 1})] = 10 // center: maximum
+	field[shape.Index(grid.Coord{0, 0})] = 0.01
+	out := RenderHeat(shape, field, Options{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("line count = %d, want 3", len(lines))
+	}
+	// +Y up: y=0 is the last line, y=1 the middle.
+	if got := lines[1][2]; got != HeatRamp[len(HeatRamp)-1] {
+		t.Fatalf("max glyph = %q, want %q", got, HeatRamp[len(HeatRamp)-1])
+	}
+	if got := lines[2][0]; got == ' ' {
+		t.Fatal("tiny nonzero value rendered as zero")
+	}
+	if got := lines[0][0]; got != ' ' {
+		t.Fatalf("zero value glyph = %q, want space", got)
+	}
+}
+
+// TestRenderHeatAllZero pins the degenerate normalization: an all-zero
+// field must not divide by zero and renders all spaces.
+func TestRenderHeatAllZero(t *testing.T) {
+	shape, err := grid.NewShape(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderHeat(shape, make([]float64, shape.NumNodes()), Options{})
+	if strings.TrimRight(strings.ReplaceAll(out, "\n", ""), " ") != "" {
+		t.Fatalf("all-zero field rendered %q, want spaces", out)
+	}
+}

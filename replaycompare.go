@@ -50,6 +50,9 @@ type ReplayCompareOptions struct {
 	// is the intra-step shard-worker count per arm. Both leave the rows
 	// byte-identical at every value.
 	Workers, Shards int
+	// Progress, when non-nil, is called after every completed router arm
+	// with (done, total); must be safe for concurrent use.
+	Progress func(done, total int)
 }
 
 // ReplayCompareRow is one router arm's replay of the shared trace.
@@ -105,6 +108,7 @@ func replayCompareSweep(opt ReplayCompareOptions, seed uint64) ([]ReplayCompareR
 	jobs := len(opt.Routers)
 	rngs := splitN(seed, jobs)
 	rows := make([]ReplayCompareRow, jobs)
+	progress := progressCounter(opt.Progress, jobs)
 	err := par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
 		wl := workload{rate: base.Rate, window: base.Window, replay: opt.Trace}
 		pt, err := p.loadPoint(sopt, wl, opt.Routers[j], rngs[j])
@@ -112,6 +116,7 @@ func replayCompareSweep(opt ReplayCompareOptions, seed uint64) ([]ReplayCompareR
 			return err
 		}
 		rows[j] = ReplayCompareRow{Router: opt.Routers[j], Point: pt}
+		progress()
 		return nil
 	})
 	if err != nil {

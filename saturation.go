@@ -13,6 +13,7 @@ package ndmesh
 
 import (
 	"fmt"
+	"sync"
 
 	"ndmesh/internal/engine"
 	"ndmesh/internal/fault"
@@ -73,6 +74,23 @@ type SaturationOptions struct {
 	// Shards inside one — and under the same contract: the rows are
 	// byte-identical for every shard count (engine.SetShards).
 	Shards int
+	// Probe, when non-nil, receives the per-step census of the run (see
+	// internal/probe). Because probes are stateful accumulators, a probed
+	// sweep must be a single cell (one pattern, one rate, one router) —
+	// otherwise the parallel cells would interleave their censuses.
+	// Observation is read-only: the rows are byte-identical with or
+	// without a probe attached. ProbeEvery > 1 decimates the flush
+	// cadence: counters aggregate the interval, gauges and the heatmap
+	// views sample its last step.
+	// Probe and Progress carry json:"-" so an options struct can embed
+	// directly into a telemetry manifest (func-typed fields are
+	// unmarshalable even when nil).
+	Probe      engine.Probe `json:"-"`
+	ProbeEvery int
+	// Progress, when non-nil, is called after every completed cell with
+	// (done, total) — the sweep CLIs wire it to a stderr printer. Called
+	// from worker goroutines; must be safe for concurrent use.
+	Progress func(done, total int) `json:"-"`
 }
 
 // DefaultSaturation returns the standard configuration: an 8x8 mesh,
@@ -138,8 +156,12 @@ func saturationSweep(opt SaturationOptions, seed uint64) ([]SaturationRow, error
 	// One job per (pattern, rate, router) cell, pattern-major — the order
 	// the rows are reported in and the order the job streams are split in.
 	jobs := len(opt.Patterns) * len(opt.Rates) * len(opt.Routers)
+	if opt.Probe != nil && jobs > 1 {
+		return nil, fmt.Errorf("ndmesh: a probed sweep must be a single cell (got %d); probes are stateful accumulators and parallel cells would interleave their censuses", jobs)
+	}
 	rngs := splitN(seed, jobs)
 	rows := make([]SaturationRow, jobs)
+	progress := progressCounter(opt.Progress, jobs)
 	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
 		pi := j / (len(opt.Rates) * len(opt.Routers))
 		ri := j / len(opt.Routers) % len(opt.Rates)
@@ -167,12 +189,30 @@ func saturationSweep(opt SaturationOptions, seed uint64) ([]SaturationRow, error
 			LatP99:       pt.Latency.P99,
 			LatMax:       pt.Latency.Max,
 		}
+		progress()
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// progressCounter wraps a Progress callback into a no-arg tick that is
+// safe to call from parallel job workers; a nil callback costs nothing.
+func progressCounter(fn func(done, total int), total int) func() {
+	if fn == nil {
+		return func() {}
+	}
+	var mu sync.Mutex
+	done := 0
+	return func() {
+		mu.Lock()
+		done++
+		d := done
+		mu.Unlock()
+		fn(d, total)
+	}
 }
 
 func validateSaturation(opt *SaturationOptions) error {
@@ -226,6 +266,9 @@ func validateLoadShape(opt *SaturationOptions) error {
 	}
 	if opt.GridlockWindow < 0 {
 		opt.GridlockWindow = 0
+	}
+	if opt.ProbeEvery < 1 {
+		opt.ProbeEvery = 1
 	}
 	if opt.Bubble && opt.NodeCapacity == 1 {
 		return fmt.Errorf("ndmesh: bubble admission with capacity 1 can never admit a flight (NodeCapacity must be >= 2)")
@@ -370,6 +413,15 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 	if cl != nil && opt.FlightTimeout > 0 {
 		cl.ConfigureRetry(opt.RetryBackoff)
 	}
+	// Attach the census probe (and pick out its latency sink, if it has
+	// one) before the first injection so the census covers the whole run.
+	// Observation is read-only, so the LoadPoint below is byte-identical
+	// with or without it.
+	var latObs interface{ ObserveLatency(steps int) }
+	if opt.Probe != nil {
+		eng.SetProbe(opt.Probe)
+		latObs, _ = opt.Probe.(interface{ ObserveLatency(steps int) })
+	}
 	// Every exit path must hand the pooled engine back clean: past-saturation
 	// cells end the drain with backlog flights still attached and counted in
 	// the residency census, and a persistent or sharded reuse of the engine
@@ -379,6 +431,7 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 	// residency counter; then the shard workers stop and contention turns
 	// off. TestLoadPointLeavesEngineClean pins all three.
 	defer func() {
+		eng.SetProbe(nil)
 		eng.ClearFlights()
 		eng.SetShards(1)
 		eng.DisableContention()
@@ -431,6 +484,7 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 				// instead of plainly releasing it.
 				cl.Timeout(fl.Msg.Src)
 				col.Retry(fl.StartStep)
+				eng.NoteRetried()
 			} else {
 				// Every other terminal outcome frees the source's window
 				// slot — delivered or not — or faults would wedge the loop
@@ -439,6 +493,11 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 			}
 		}
 		col.Finish(fl.StartStep, fl.Msg.Steps, oc)
+		if latObs != nil && oc == traffic.Delivered && ph.Measured(fl.StartStep) {
+			// Feed the full-distribution histogram the same latencies the
+			// summary's exact-sample path sees (measured delivered flights).
+			latObs.ObserveLatency(fl.Msg.Steps)
+		}
 	}
 
 	total := ph.Total()
@@ -451,6 +510,11 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 		}
 		eng.Step()
 		eng.DetachDone(harvest)
+		if opt.Probe != nil && (step+1)%opt.ProbeEvery == 0 {
+			// Flush after the harvest pass so retries land in the same
+			// census as the timeouts that caused them.
+			eng.FlushCensus()
+		}
 		if eng.Gridlocked() && opt.FlightTimeout == 0 {
 			// Terminal gridlock: without flight timeouts nothing can break
 			// the buffer cycle, so the remaining steps would spin without a
@@ -460,6 +524,11 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 			// next kill is progress), so the run keeps stepping.
 			break
 		}
+	}
+	// Flush whatever partial census the decimation cadence (or a gridlock
+	// cut) left behind; a no-op when the last step flushed already.
+	if opt.Probe != nil {
+		eng.FlushCensus()
 	}
 	// Whatever survived the drain is unfinished backlog (the deferred
 	// cleanup detaches it afterwards).
@@ -501,7 +570,13 @@ type LoadOptions struct {
 	// Shards is the intra-step shard-worker count (< 2 means serial); the
 	// point is byte-identical for every value.
 	Shards int
-	Seed   uint64
+	// Probe, when non-nil, receives the run's per-step census (see
+	// internal/probe and the SaturationOptions field of the same name);
+	// ProbeEvery > 1 decimates the flush cadence. Read-only: the
+	// LoadPoint is byte-identical with or without a probe.
+	Probe      engine.Probe `json:"-"`
+	ProbeEvery int
+	Seed       uint64
 	// Window > 0 switches the run to the closed-loop workload: every node
 	// keeps up to Window requests outstanding and reinjects only when one
 	// terminates. Rate and Process are ignored in closed-loop mode.
@@ -509,7 +584,7 @@ type LoadOptions struct {
 	// Record, when non-nil, is filled with the run's offered workload,
 	// fault schedule and metadata — a trace that Replay (or -trace-replay
 	// on cmd/loadgen) reproduces byte-identically.
-	Record *traffic.Trace
+	Record *traffic.Trace `json:"-"`
 	// Replay, when non-nil, replays a recorded workload instead of running
 	// a live source: Dims, Rate, Window, the phase lengths and the fault
 	// schedule are taken from the trace and override the corresponding
@@ -522,7 +597,7 @@ type LoadOptions struct {
 	// Because 0 is NodeCapacity's meaningful "unbounded" value, forcing
 	// unbounded buffers on the replay of a finite-capacity trace takes a
 	// negative NodeCapacity.
-	Replay *traffic.Trace
+	Replay *traffic.Trace `json:"-"`
 }
 
 // applyReplay resolves the trace-inheritance rules into opt: the trace is
@@ -589,6 +664,7 @@ func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
 		Faults: opt.Faults, FaultInterval: opt.FaultInterval,
 		Clustered: opt.Clustered,
 		Shards:    opt.Shards,
+		Probe:     opt.Probe, ProbeEvery: opt.ProbeEvery,
 	}
 	if opt.Window > 0 || opt.Replay != nil {
 		// Closed-loop and replay runs have no live arrival process to
