@@ -15,6 +15,7 @@ import (
 	"ndmesh/internal/boundary"
 	"ndmesh/internal/core"
 	"ndmesh/internal/engine"
+	"ndmesh/internal/fault"
 	"ndmesh/internal/frame"
 	"ndmesh/internal/grid"
 	"ndmesh/internal/ident"
@@ -600,6 +601,79 @@ func BenchmarkGridlockEscapeStep(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(cl.InFlight()), "in_flight")
 	b.ReportMetric(float64(cl.Retried()), "retried")
+}
+
+// BenchmarkFaultProcessStep (E23a) measures one step of an open-loop run
+// under a live stochastic fault process with repair: every step may apply
+// fault events (relabeling waves, identification runs, boundary floods,
+// store deposits and deletion-trigger cancellations all riding the step),
+// flights hit fresh faults mid-path and time out back to their sources,
+// and the trial wraps around — model reset, engine reset, schedule replay —
+// exactly as a Monte-Carlo reliability trial does. The wrap cost is
+// amortized into the per-step figure, so this is the per-step price of an
+// E23 trial. The path must stay at 0 allocs/op once the pools are warm
+// (asserted by TestFaultProcessStepAllocFree in internal/engine and pinned
+// in BENCH_08.json).
+func BenchmarkFaultProcessStep(b *testing.B) {
+	sim := MustSimulation(Config{Dims: []int{16, 16}})
+	eng := sim.eng()
+	eng.EnableContention(engine.ContentionConfig{
+		LinkRate: 1, NodeCapacity: 4,
+		FlightTimeout: 16, GridlockWindow: 8,
+	})
+	shape := sim.gridShape()
+	fab := sim.fabric()
+	const horizon = 64
+	const trialSteps = horizon + 16
+	sched, err := fault.GenerateProcess(shape, fault.ProcessOptions{
+		Arrival: fault.Delay{Model: fault.DelayBernoulli, Rate: 0.08},
+		Repair:  fault.Delay{Model: fault.DelayBernoulli, Rate: 1.0 / 16},
+		Horizon: horizon - 1,
+	}, rng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	setSchedule(sim, sched)
+	var rtr route.Router = route.Congested{}
+	srcs := []grid.Coord{{1, 1}, {1, 2}, {2, 1}, {14, 14}, {13, 14}, {14, 13}}
+	dsts := []grid.Coord{{14, 14}, {14, 13}, {13, 14}, {1, 1}, {2, 1}, {1, 2}}
+	stepIdx, trials := 0, 0
+	step := func() {
+		if stepIdx == trialSteps {
+			sim.Reset()
+			setSchedule(sim, sched)
+			stepIdx = 0
+			trials++
+		}
+		for i := range srcs {
+			src := shape.Index(srcs[i])
+			if fab.Status(src) != mesh.Enabled || !eng.Admit(src) {
+				continue
+			}
+			if _, err := eng.Inject(src, shape.Index(dsts[i]), rtr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Step()
+		eng.DetachDone(nil)
+		stepIdx++
+	}
+	// Warm every pool to its high-water mark: flights come off the free
+	// list LIFO, so rarely-reused ones warm their routing scratch late.
+	for i := 0; i < 20*trialSteps; i++ {
+		step()
+	}
+	if len(eng.Events) == 0 {
+		b.Fatal("no fault events applied; the process is not being measured")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(trials), "trials")
+	b.ReportMetric(float64(len(eng.Events)), "events_last_trial")
 }
 
 // BenchmarkCongestedContentionStep (E20a) is BenchmarkContentionStep with

@@ -52,9 +52,16 @@ type ClosedLoopOptions struct {
 	FlightTimeout, RetryBackoff int
 	Bubble                      bool
 	GridlockWindow              int
-	// Faults > 0 overlays a dynamic fault schedule on every run.
+	// Faults > 0 overlays a fixed-count fault schedule on every run;
+	// FaultRate > 0 a stochastic fault process instead. See the
+	// SaturationOptions fields of the same names.
 	Faults, FaultInterval int
 	Clustered             bool
+	FaultStart            int
+	FaultRate             float64
+	FaultModel            string
+	FaultShape            float64
+	FaultRepair           float64
 	// Workers is the parallel fan-out width; < 1 means GOMAXPROCS.
 	Workers int
 	// Shards is the intra-step shard-worker count per cell (< 2 means
@@ -152,9 +159,11 @@ func closedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error
 		FlightTimeout: opt.FlightTimeout, RetryBackoff: opt.RetryBackoff,
 		Bubble: opt.Bubble, GridlockWindow: opt.GridlockWindow,
 		Faults: opt.Faults, FaultInterval: opt.FaultInterval,
-		Clustered: opt.Clustered,
-		Shards:    opt.Shards,
-		Probe:     opt.Probe, ProbeEvery: opt.ProbeEvery,
+		Clustered: opt.Clustered, FaultStart: opt.FaultStart,
+		FaultRate: opt.FaultRate, FaultModel: opt.FaultModel,
+		FaultShape: opt.FaultShape, FaultRepair: opt.FaultRepair,
+		Shards: opt.Shards,
+		Probe:  opt.Probe, ProbeEvery: opt.ProbeEvery,
 	}
 	if err := validateLoadShape(&sopt); err != nil {
 		return nil, err

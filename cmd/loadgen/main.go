@@ -17,6 +17,8 @@
 //	loadgen -dims 6x6x6 -rates 0.05 -patterns hotspot -process bursty -capacity 4
 //	loadgen -dims 8x8 -windows 1,2,4,8,16 -patterns uniform -capacity 8
 //	loadgen -dims 8x8 -windows 8 -capacity 4 -timeout 16 -retry-backoff 4 -bubble -gridlock-window 8
+//	loadgen -dims 8x8 -rates 0.1 -fault-rate 0.01 -repair 150 -timeout 48
+//	loadgen -dims 8x8 -rates 0.1 -fault-rate 0.02 -fault-model weibull -fault-shape 1.5 -clustered
 //	loadgen -dims 8x8 -rates 0.2 -patterns uniform -trace-record w.ndwt
 //	loadgen -trace-replay w.ndwt -routers congested -capacity 8
 //	loadgen -trace-replay w.ndwt -routers limited,congested,blind,dor
@@ -77,6 +79,11 @@ func main() {
 		faults       = flag.Int("faults", 0, "dynamic faults overlaid on the run (0 = fault-free)")
 		interval     = flag.Int("interval", 40, "steps between fault occurrences")
 		clustered    = flag.Bool("clustered", false, "grow one block instead of scattering faults")
+		faultRate    = flag.Float64("fault-rate", 0, "stochastic fault process: mean failures per step over the whole run (0 = off; mutually exclusive with -faults)")
+		faultModel   = flag.String("fault-model", "", "fault inter-arrival model: bernoulli | weibull (with -fault-rate; empty = bernoulli)")
+		faultShape   = flag.Float64("fault-shape", 0, "weibull shape for -fault-model weibull (0 = library default)")
+		faultStart   = flag.Int("fault-start", 0, "earliest step a fault may occur (0 = library default)")
+		repair       = flag.Float64("repair", 0, "mean repair delay in steps for process faults (0 = faults are permanent)")
 		seed         = flag.Uint64("seed", 1, "random seed")
 		workers      = flag.Int("workers", 0, "parallel cell workers (0 = all CPUs); results are identical for every value")
 		shards       = flag.Int("shards", 1, "intra-step shard workers per cell (big single meshes; results are identical for every value)")
@@ -111,6 +118,18 @@ func main() {
 		}
 	}
 
+	// faultDesc summarizes the fault overlay for table titles: the fixed
+	// count, or the stochastic process when -fault-rate is set.
+	faultDesc := fmt.Sprintf("F=%d", *faults)
+	if *faultRate > 0 {
+		faultDesc = fmt.Sprintf("frate=%g(%s) repair=%g", *faultRate, func() string {
+			if *faultModel != "" {
+				return *faultModel
+			}
+			return "bernoulli"
+		}(), *repair)
+	}
+
 	emitTable := func(tab *stats.Table) {
 		if *csv {
 			fmt.Print(tab.CSV())
@@ -121,7 +140,7 @@ func main() {
 	newPointTable := func(title string) *stats.Table {
 		return stats.NewTable(title,
 			"workload", "router", "offered", "accepted", "delivered", "dropped", "unreach", "lost",
-			"timeout", "retried", "unfin", "gridlock",
+			"timeout", "retried", "unfin", "gridlock", "failed", "recovered",
 			"lat mean", "p50", "p95", "p99", "max")
 	}
 	addPointRow := func(tab *stats.Table, workload, router string, pt traffic.LoadPoint) {
@@ -131,7 +150,7 @@ func main() {
 		}
 		tab.AddRow(workload, router, fmt.Sprintf("%.3f", pt.OfferedRate), fmt.Sprintf("%.3f", pt.AcceptedRate),
 			pt.Delivered, pt.Dropped, pt.Unreachable, pt.Lost,
-			pt.TimedOut, pt.Retried, pt.Unfinished, gl,
+			pt.TimedOut, pt.Retried, pt.Unfinished, gl, pt.Failed, pt.Recovered,
 			pt.Latency.Mean, pt.Latency.P50, pt.Latency.P95, pt.Latency.P99, pt.Latency.Max)
 	}
 	pointTable := func(title string, router, workload string, pt traffic.LoadPoint) *stats.Table {
@@ -276,6 +295,8 @@ func main() {
 			FlightTimeout: *timeout, RetryBackoff: *retryBackoff,
 			Bubble: *bubble, GridlockWindow: *gridlockWin,
 			Faults: *faults, FaultInterval: *interval, Clustered: *clustered,
+			FaultStart: *faultStart, FaultRate: *faultRate, FaultModel: *faultModel,
+			FaultShape: *faultShape, FaultRepair: *repair,
 			Shards: *shards, Seed: *seed,
 			Record: &traffic.Trace{},
 		}
@@ -316,8 +337,8 @@ func main() {
 		if err := os.WriteFile(*traceRecord, opt.Record.Marshal(), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		title := fmt.Sprintf("trace record: %s (%s, %d offers over %d steps), link-rate=%d, capacity=%d, F=%d",
-			*traceRecord, *dimsFlag, opt.Record.Offers(), opt.Record.Steps(), *linkRate, *capacity, *faults)
+		title := fmt.Sprintf("trace record: %s (%s, %d offers over %d steps), link-rate=%d, capacity=%d, %s",
+			*traceRecord, *dimsFlag, opt.Record.Offers(), opt.Record.Steps(), *linkRate, *capacity, faultDesc)
 		emitTable(pointTable(title, routers[0], workload, pt))
 		return
 	}
@@ -338,6 +359,8 @@ func main() {
 			FlightTimeout: *timeout, RetryBackoff: *retryBackoff,
 			Bubble: *bubble, GridlockWindow: *gridlockWin,
 			Faults: *faults, FaultInterval: *interval, Clustered: *clustered,
+			FaultStart: *faultStart, FaultRate: *faultRate, FaultModel: *faultModel,
+			FaultShape: *faultShape, FaultRepair: *repair,
 			Shards:   *shards,
 			Progress: progress,
 		}
@@ -355,8 +378,8 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		title := fmt.Sprintf("closed loop: %s, link-rate=%d, capacity=%d, F=%d, warmup/measure/drain=%d/%d/%d",
-			*dimsFlag, *linkRate, *capacity, *faults, *warmup, *measure, *drain)
+		title := fmt.Sprintf("closed loop: %s, link-rate=%d, capacity=%d, %s, warmup/measure/drain=%d/%d/%d",
+			*dimsFlag, *linkRate, *capacity, faultDesc, *warmup, *measure, *drain)
 		tab := stats.NewTable(title,
 			"pattern", "router", "window", "inj rate", "accepted", "delivered", "unreach", "lost", "unfin",
 			"lat mean", "p50", "p95", "p99", "max")
@@ -398,6 +421,11 @@ func main() {
 		Faults:         *faults,
 		FaultInterval:  *interval,
 		Clustered:      *clustered,
+		FaultStart:     *faultStart,
+		FaultRate:      *faultRate,
+		FaultModel:     *faultModel,
+		FaultShape:     *faultShape,
+		FaultRepair:    *repair,
 		Shards:         *shards,
 		Progress:       progress,
 	}
@@ -416,8 +444,8 @@ func main() {
 		}
 	}
 
-	title := fmt.Sprintf("saturation: %s, process=%s, link-rate=%d, capacity=%d, F=%d, warmup/measure/drain=%d/%d/%d",
-		*dimsFlag, *process, *linkRate, *capacity, *faults, *warmup, *measure, *drain)
+	title := fmt.Sprintf("saturation: %s, process=%s, link-rate=%d, capacity=%d, %s, warmup/measure/drain=%d/%d/%d",
+		*dimsFlag, *process, *linkRate, *capacity, faultDesc, *warmup, *measure, *drain)
 	tab := stats.NewTable(title,
 		"pattern", "router", "offered", "accepted", "delivered", "dropped", "unreach", "lost", "unfin",
 		"lat mean", "p50", "p95", "p99", "max")

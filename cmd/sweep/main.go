@@ -28,7 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | congestion | closedloop | gridlock | all")
+		exp      = flag.String("exp", "all", "experiment: convergence | degradation | lambda | memory | oscillation | theorems | traffic | saturation | congestion | closedloop | gridlock | reliability | all")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		trials   = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -81,10 +81,13 @@ func main() {
 	run("gridlock", func() (*stats.Table, error) {
 		return gridlockTable(*seed, *workers, *shards, congestion, loadProgress(*progress, "gridlock"))
 	})
+	run("reliability", func() (*stats.Table, error) {
+		return reliabilityTable(*seed, *trials, *workers, *shards, congestion, loadProgress(*progress, "reliability"))
+	})
 
 	if *exp != "all" {
 		switch *exp {
-		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic", "saturation", "congestion", "closedloop", "gridlock":
+		case "convergence", "degradation", "lambda", "memory", "oscillation", "theorems", "traffic", "saturation", "congestion", "closedloop", "gridlock", "reliability":
 		default:
 			log.Printf("unknown experiment %q", *exp)
 			flag.Usage()
@@ -175,6 +178,31 @@ func gridlockTable(seed uint64, workers, shards int, congestion route.Congestion
 		tab.AddRow(r.Pattern, r.Window, r.Capacity, r.Faults, r.Mechanism, gl,
 			r.GridlockStep, r.RecoverySteps, fmt.Sprintf("%.3f", r.AcceptedRate),
 			r.Delivered, r.TimedOut, r.Retried, r.Unfinished, r.LatMean, r.LatP99)
+	}
+	return tab, nil
+}
+
+func reliabilityTable(seed uint64, trials, workers, shards int, congestion route.CongestionConfig, progress func(done, total int)) (*stats.Table, error) {
+	opt := ndmesh.DefaultReliability()
+	opt.Routers = []string{"limited", "congested"}
+	if trials > 0 {
+		opt.Trials = trials
+	}
+	opt.Shards = shards
+	opt.Congestion = congestion
+	opt.Progress = progress
+	rows, err := ndmesh.ReliabilitySweepWorkers(opt, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("E23 reliability: 8x8 open loop under a live fault process, Monte-Carlo per cell",
+		"pattern", "rate", "router", "trials", "delivered%", "unreach%", "lost%", "timedout%", "accepted", "rdrop", "failed", "recovered", "glk", "lat mean", "p99")
+	for _, r := range rows {
+		tab.AddRow(r.Pattern, fmt.Sprintf("%.3f", r.FaultRate), r.Router, r.Trials,
+			fmt.Sprintf("%.3f", r.DeliveredFrac), fmt.Sprintf("%.3f", r.UnreachableFrac),
+			fmt.Sprintf("%.3f", r.LostFrac), fmt.Sprintf("%.3f", r.TimedOutFrac),
+			fmt.Sprintf("%.3f", r.AcceptedRate), r.RetryDropped, fmt.Sprintf("%.1f", r.MeanFailed),
+			fmt.Sprintf("%.1f", r.MeanRecovered), r.GridlockedTrials, r.LatMean, r.LatP99Mean)
 	}
 	return tab, nil
 }

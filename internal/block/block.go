@@ -56,6 +56,10 @@ type Stepper struct {
 	changedTo  []mesh.Status
 	// affected tracks distinct nodes that ever changed in this epoch.
 	affected map[grid.NodeID]struct{}
+	// eval and agedCleans are Round's reusable work lists (candidates plus
+	// clean nodes, and clean nodes whose age must advance).
+	eval       []grid.NodeID
+	agedCleans []grid.NodeID
 }
 
 // NewStepper builds a stepper over m. The mesh's current statuses are taken
@@ -123,15 +127,16 @@ func (st *Stepper) Affected() int { return len(st.affected) }
 func (st *Stepper) Round() int {
 	m := st.m
 	// Evaluate: candidates plus all clean nodes (whose age must advance).
-	eval := st.cand
+	eval := append(st.eval[:0], st.cand...)
 	for id := range st.cleanSet {
 		if st.inCand[id] != st.gen {
 			eval = append(eval, id)
 		}
 	}
+	st.eval = eval
 	st.changedIDs = st.changedIDs[:0]
 	st.changedTo = st.changedTo[:0]
-	var agedCleans []grid.NodeID
+	agedCleans := st.agedCleans[:0]
 	for _, id := range eval {
 		old := m.Status(id)
 		next, stayClean := nextStatus(m, id, old)
@@ -165,6 +170,7 @@ func (st *Stepper) Round() int {
 			m.BumpCleanAge(id)
 		}
 	}
+	st.agedCleans = agedCleans
 	return len(st.changedIDs)
 }
 
@@ -329,6 +335,75 @@ func MaxEdge(blocks []Block) int {
 	for _, b := range blocks {
 		if m := b.Box.MaxExtent(); m > e {
 			e = m
+		}
+	}
+	return e
+}
+
+// Oracle is the reusable-buffer variant of the centralized block oracle for
+// hot paths that query it repeatedly (the engine computes e_max after every
+// applied fault event). The zero value is ready to use; all scratch storage
+// is grown on first use and reused afterwards, so steady-state queries
+// allocate nothing.
+type Oracle struct {
+	visited []bool
+	queue   []grid.NodeID
+	lo, hi  grid.Coord
+	scratch grid.Coord
+}
+
+// MaxEdge returns MaxEdge(Extract(m)) without materializing the blocks:
+// the same connected-component search over disabled∪faulty nodes, tracking
+// only each component's bounding-box extents.
+func (o *Oracle) MaxEdge(m *mesh.Mesh) int {
+	n := m.NumNodes()
+	if cap(o.visited) < n {
+		o.visited = make([]bool, n)
+	} else {
+		o.visited = o.visited[:n]
+		clear(o.visited)
+	}
+	shape := m.Shape()
+	dims := shape.Dims()
+	if len(o.lo) != dims {
+		o.lo = make(grid.Coord, dims)
+		o.hi = make(grid.Coord, dims)
+		o.scratch = make(grid.Coord, dims)
+	}
+	numDirs := shape.NumDirs()
+	e := 0
+	for start := 0; start < n; start++ {
+		id := grid.NodeID(start)
+		if o.visited[start] || !m.Status(id).Bad() {
+			continue
+		}
+		o.visited[start] = true
+		o.queue = append(o.queue[:0], id)
+		shape.Coord(id, o.lo)
+		copy(o.hi, o.lo)
+		for qi := 0; qi < len(o.queue); qi++ {
+			cur := o.queue[qi]
+			c := shape.Coord(cur, o.scratch)
+			for i, v := range c {
+				if v < o.lo[i] {
+					o.lo[i] = v
+				}
+				if v > o.hi[i] {
+					o.hi[i] = v
+				}
+			}
+			for d := 0; d < numDirs; d++ {
+				nb := m.Neighbor(cur, grid.Dir(d))
+				if nb != grid.InvalidNode && !o.visited[nb] && m.Status(nb).Bad() {
+					o.visited[nb] = true
+					o.queue = append(o.queue, nb)
+				}
+			}
+		}
+		for i := range o.lo {
+			if ext := o.hi[i] - o.lo[i] + 1; ext > e {
+				e = ext
+			}
 		}
 	}
 	return e

@@ -204,8 +204,11 @@ type Construction struct {
 	// Op is Deposit or Cancel.
 	Op Op
 
-	regions  []grid.Box // placement bases: Box plus merge extensions
+	regions []grid.Box // placement bases: Box plus merge extensions
+	// frontier/next are the double-buffered flood fronts; roundOne swaps
+	// them so a long-lived construction allocates no per-round slice.
 	frontier []grid.NodeID
+	next     []grid.NodeID
 	visited  map[grid.NodeID]struct{}
 	// Rounds counts propagation rounds so far (contributes to c_i).
 	Rounds int
@@ -214,15 +217,35 @@ type Construction struct {
 // NewConstruction starts a flood for box over the given seed nodes (which
 // are processed in round 1).
 func NewConstruction(box grid.Box, epoch uint32, op Op, seeds []grid.NodeID) *Construction {
-	c := &Construction{
-		Box:     box.Clone(),
-		Epoch:   epoch,
-		Op:      op,
-		regions: []grid.Box{box.Clone()},
-		visited: make(map[grid.NodeID]struct{}),
-	}
-	c.frontier = append(c.frontier, seeds...)
+	c := &Construction{visited: make(map[grid.NodeID]struct{})}
+	c.reuse(box, epoch, op, seeds)
 	return c
+}
+
+// reuse re-initializes a (possibly recycled) construction in place, keeping
+// every buffer's capacity: the box copies, the region bases, the frontier
+// and the visited map's buckets all reuse prior storage.
+func (c *Construction) reuse(box grid.Box, epoch uint32, op Op, seeds []grid.NodeID) {
+	c.Box.Set(box)
+	c.Epoch = epoch
+	c.Op = op
+	c.regions = c.regions[:0]
+	c.addRegion(box)
+	c.frontier = append(c.frontier[:0], seeds...)
+	c.next = c.next[:0]
+	clear(c.visited)
+	c.Rounds = 0
+}
+
+// addRegion appends a copy of b to the placement bases, reusing the box
+// storage parked in the slice's spare capacity by earlier reuse cycles.
+func (c *Construction) addRegion(b grid.Box) {
+	if n := len(c.regions); n < cap(c.regions) {
+		c.regions = c.regions[:n+1]
+		c.regions[n].Set(b)
+		return
+	}
+	c.regions = append(c.regions, b.Clone())
 }
 
 // Done reports whether the flood has exhausted its frontier.
@@ -246,7 +269,7 @@ func (c *Construction) extendRegion(b grid.Box) {
 			return
 		}
 	}
-	c.regions = append(c.regions, b.Clone())
+	c.addRegion(b)
 }
 
 // Protocol runs all in-flight boundary constructions, one hop per round.
@@ -254,20 +277,31 @@ type Protocol struct {
 	m     *mesh.Mesh
 	store *info.Store
 	cons  []*Construction
-	// scratch is a reusable coordinate buffer for roundOne.
-	scratch grid.Coord
+	// spare is the free list of retired constructions; Start reuses them so
+	// a fault process cycling blocks through the protocol allocates nothing
+	// once warm.
+	spare []*Construction
+	// scratch/scratchNb are reusable coordinate buffers for roundOne (the
+	// visited node and its neighbor under inspection).
+	scratch   grid.Coord
+	scratchNb grid.Coord
 	// Hops counts total node visits across constructions (message cost).
 	Hops int
 }
 
 // NewProtocol builds an empty boundary protocol over m and store.
 func NewProtocol(m *mesh.Mesh, store *info.Store) *Protocol {
-	return &Protocol{m: m, store: store, scratch: make(grid.Coord, m.Shape().Dims())}
+	return &Protocol{
+		m: m, store: store,
+		scratch:   make(grid.Coord, m.Shape().Dims()),
+		scratchNb: make(grid.Coord, m.Shape().Dims()),
+	}
 }
 
 // Reset abandons every in-flight construction so the protocol can be reused
-// for a new trial.
+// for a new trial; the constructions land on the free list.
 func (p *Protocol) Reset() {
+	p.spare = append(p.spare, p.cons...)
 	p.cons = p.cons[:0]
 	p.Hops = 0
 }
@@ -275,9 +309,17 @@ func (p *Protocol) Reset() {
 // Start registers a construction for box seeded at the given nodes.
 // Deposits seed from the block's frame (typically its corners and edge
 // nodes, which received the record in identification phase 4); cancels
-// seed from the node that detected the stale record.
+// seed from the node that detected the stale record. The seeds slice is
+// copied, not retained.
 func (p *Protocol) Start(box grid.Box, epoch uint32, op Op, seeds []grid.NodeID) *Construction {
-	c := NewConstruction(box, epoch, op, seeds)
+	var c *Construction
+	if n := len(p.spare); n > 0 {
+		c = p.spare[n-1]
+		p.spare = p.spare[:n-1]
+		c.reuse(box, epoch, op, seeds)
+	} else {
+		c = NewConstruction(box, epoch, op, seeds)
+	}
 	p.cons = append(p.cons, c)
 	return c
 }
@@ -288,8 +330,9 @@ func (p *Protocol) Quiescent() bool { return len(p.cons) == 0 }
 // Active returns the number of in-flight constructions.
 func (p *Protocol) Active() int { return len(p.cons) }
 
-// Round advances every construction one hop and retires the finished ones.
-// It returns the number of node visits performed (0 at quiescence).
+// Round advances every construction one hop and retires the finished ones
+// onto the free list. It returns the number of node visits performed (0 at
+// quiescence).
 func (p *Protocol) Round() int {
 	visits := 0
 	kept := p.cons[:0]
@@ -297,6 +340,8 @@ func (p *Protocol) Round() int {
 		visits += p.roundOne(c)
 		if !c.Done() {
 			kept = append(kept, c)
+		} else {
+			p.spare = append(p.spare, c)
 		}
 	}
 	p.cons = kept
@@ -305,9 +350,11 @@ func (p *Protocol) Round() int {
 }
 
 func (p *Protocol) roundOne(c *Construction) int {
-	var next []grid.NodeID
+	next := c.next[:0]
 	visits := 0
 	scratch := p.scratch
+	shape := p.m.Shape()
+	numDirs := shape.NumDirs()
 	for _, id := range c.frontier {
 		if _, dup := c.visited[id]; dup {
 			continue
@@ -323,7 +370,7 @@ func (p *Protocol) roundOne(c *Construction) int {
 		visits++
 		switch c.Op {
 		case Deposit:
-			p.store.Add(id, info.Record{Box: c.Box.Clone(), Epoch: c.Epoch})
+			p.store.Add(id, info.Record{Box: c.Box, Epoch: c.Epoch})
 		case Cancel:
 			p.store.Remove(id, c.Box, c.Epoch)
 		}
@@ -333,7 +380,7 @@ func (p *Protocol) roundOne(c *Construction) int {
 		// placement, merging into its surfaces and boundary. Merely
 		// crossing another block's distant wall is not an intersection
 		// with the block and must not merge.
-		cd := p.m.Shape().Coord(id, scratch)
+		cd := shape.Coord(id, scratch)
 		for _, r := range p.store.At(id) {
 			if r.Box.Equal(c.Box) {
 				continue
@@ -342,9 +389,13 @@ func (p *Protocol) roundOne(c *Construction) int {
 				c.extendRegion(r.Box)
 			}
 		}
-		p.m.EachNeighbor(id, func(nb grid.NodeID, _ grid.Dir) {
+		for d := 0; d < numDirs; d++ {
+			nb := p.m.Neighbor(id, grid.Dir(d))
+			if nb == grid.InvalidNode {
+				continue
+			}
 			if _, dup := c.visited[nb]; dup {
-				return
+				continue
 			}
 			// A cancellation also follows the trail of nodes actually
 			// holding the record: merged boundaries parked the record on
@@ -352,14 +403,15 @@ func (p *Protocol) roundOne(c *Construction) int {
 			// deletion time, so geometry alone cannot retrace the deposit.
 			if c.Op == Cancel && p.store.Has(nb, c.Box) {
 				next = append(next, nb)
-				return
+				continue
 			}
-			nbc := p.m.Shape().CoordOf(nb)
+			nbc := shape.Coord(nb, p.scratchNb)
 			if c.inRegion(nbc) {
 				next = append(next, nb)
 			}
-		})
+		}
 	}
+	c.next = c.frontier[:0]
 	c.frontier = next
 	c.Rounds++
 	return visits

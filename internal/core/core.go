@@ -19,6 +19,7 @@ package core
 
 import (
 	"sort"
+	"strconv"
 
 	"ndmesh/internal/block"
 	"ndmesh/internal/boundary"
@@ -61,6 +62,17 @@ type Model struct {
 	watchKeys []string
 	scratch   grid.Coord
 
+	// keyBuf, keyIntern, seedBuf and spareWatches make the identification
+	// path allocation-free once warm: watch keys are formatted into keyBuf
+	// and interned (keyIntern survives Reset — it is bounded by the number
+	// of distinct boxes the mesh can hold), flood seeds are staged in
+	// seedBuf (boundary.Start copies them), and retired watch objects are
+	// recycled through spareWatches with their box and corner storage.
+	keyBuf       []byte
+	keyIntern    map[string]string
+	seedBuf      []grid.NodeID
+	spareWatches []*watched
+
 	// Debug, when non-nil, receives internal decision traces (tests only).
 	Debug func(format string, args ...any)
 
@@ -76,14 +88,15 @@ func New(m *mesh.Mesh) *Model {
 	store := info.NewStore(m.NumNodes())
 	det := frame.NewDetector(m)
 	md := &Model{
-		M:        m,
-		Labeling: block.NewStepper(m),
-		Detector: det,
-		Ident:    ident.NewProtocol(m, det, store),
-		Boundary: boundary.NewProtocol(m, store),
-		Store:    store,
-		watches:  make(map[string]*watched),
-		scratch:  make(grid.Coord, m.Shape().Dims()),
+		M:         m,
+		Labeling:  block.NewStepper(m),
+		Detector:  det,
+		Ident:     ident.NewProtocol(m, det, store),
+		Boundary:  boundary.NewProtocol(m, store),
+		Store:     store,
+		watches:   make(map[string]*watched),
+		scratch:   make(grid.Coord, m.Shape().Dims()),
+		keyIntern: make(map[string]string),
 	}
 	md.Ident.OnIdentified = md.onIdentified
 	return md
@@ -106,6 +119,9 @@ func (md *Model) Reset() {
 	md.Store.Clear()
 	md.epoch = 0
 	md.round = 0
+	for _, w := range md.watches {
+		md.spareWatches = append(md.spareWatches, w)
+	}
 	clear(md.watches)
 	md.LastLabelRound, md.LastFrameRound, md.LastIdentRound, md.LastBoundaryRound = 0, 0, 0, 0
 	md.CancelsStarted = 0
@@ -184,21 +200,76 @@ func (md *Model) Stabilize() int {
 // corner over the block's frame shell and down its boundary walls, merging
 // into other blocks' placements where they intersect (Fig. 3(d)).
 func (md *Model) onIdentified(box grid.Box, corner grid.NodeID) {
-	key := box.String()
-	if w, dup := md.watches[key]; dup && w != nil {
+	md.keyBuf = appendBoxKey(md.keyBuf[:0], box)
+	if w, dup := md.watches[string(md.keyBuf)]; dup && w != nil {
 		return // already constructed (another corner's run finished first)
 	}
 	md.epoch++
-	md.Boundary.Start(box, md.epoch, boundary.Deposit, []grid.NodeID{corner})
-	w := &watched{box: box.Clone(), epoch: md.epoch}
+	md.seedBuf = append(md.seedBuf[:0], corner)
+	md.Boundary.Start(box, md.epoch, boundary.Deposit, md.seedBuf)
+	w := md.getWatched(box, md.epoch)
+	// Enumerate the frame corners (frame.Corners order: mask bit i selects
+	// Hi[i]+1 over Lo[i]-1) into the scratch coordinate — the corner list
+	// feeds cancellation seeds, so the order must stay exactly this.
 	shape := md.M.Shape()
-	for _, c := range frame.Corners(box) {
+	n := shape.Dims()
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		c := md.scratch
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				c[i] = box.Hi[i] + 1
+			} else {
+				c[i] = box.Lo[i] - 1
+			}
+		}
 		if shape.Contains(c) {
 			w.corners = append(w.corners, shape.Index(c))
 		}
 	}
-	md.watches[key] = w
+	md.watches[md.internKey(md.keyBuf)] = w
 	md.LastBoundaryRound = md.round
+}
+
+// getWatched returns a watch object for the box, recycling a retired one
+// (keeping its box and corner storage) when available.
+func (md *Model) getWatched(box grid.Box, epoch uint32) *watched {
+	if n := len(md.spareWatches); n > 0 {
+		w := md.spareWatches[n-1]
+		md.spareWatches = md.spareWatches[:n-1]
+		w.box.Set(box)
+		w.epoch = epoch
+		w.corners = w.corners[:0]
+		w.strikes = 0
+		return w
+	}
+	return &watched{box: box.Clone(), epoch: epoch}
+}
+
+// internKey returns the canonical string for a formatted key, allocating
+// only the first time a given box is ever watched on this model.
+func (md *Model) internKey(buf []byte) string {
+	if s, ok := md.keyIntern[string(buf)]; ok {
+		return s
+	}
+	s := string(buf)
+	md.keyIntern[s] = s
+	return s
+}
+
+// appendBoxKey formats box exactly as grid.Box.String does — the watch map
+// is sorted by key, so the format is part of the deletion-trigger visit
+// order.
+func appendBoxKey(buf []byte, box grid.Box) []byte {
+	buf = append(buf, '[')
+	for i := range box.Lo {
+		if i > 0 {
+			buf = append(buf, ", "...)
+		}
+		buf = strconv.AppendInt(buf, int64(box.Lo[i]), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(box.Hi[i]), 10)
+	}
+	return append(buf, ']')
 }
 
 // watchCorners implements the deletion trigger: when a corner of a
@@ -237,6 +308,7 @@ func (md *Model) watchCorners() int {
 			md.LastBoundaryRound = md.round
 			activity++
 		}
+		md.spareWatches = append(md.spareWatches, w)
 		delete(md.watches, key)
 	}
 	return activity
@@ -272,13 +344,16 @@ func (md *Model) cornersConsistent(w *watched) bool {
 }
 
 // enabledPlacementSeeds returns the enabled corner nodes of the old box
-// (cancellation starts from the corners that detected the change).
+// (cancellation starts from the corners that detected the change). The
+// returned slice is the model's reusable seed buffer — valid only until the
+// next identification or cancellation (boundary.Start copies it).
 func (md *Model) enabledPlacementSeeds(w *watched) []grid.NodeID {
-	var seeds []grid.NodeID
+	seeds := md.seedBuf[:0]
 	for _, id := range w.corners {
 		if md.M.Status(id) == mesh.Enabled {
 			seeds = append(seeds, id)
 		}
 	}
+	md.seedBuf = seeds
 	return seeds
 }

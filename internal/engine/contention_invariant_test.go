@@ -148,6 +148,121 @@ func TestContentionConservation(t *testing.T) {
 	}
 }
 
+// TestFailRepairOccupiedConservation is the fail-mid-flight audit: a
+// schedule that fails AND repairs a node while flights are resident on it
+// (and queued through it) must leave the conservation partition and the
+// residency census intact at every step — no buffer slot, residency count
+// or stall counter may leak across the fault or the repair. The funnel
+// pattern keeps the victim node's input queue full at both event steps,
+// and the cycle repeats so re-failure of a repaired, re-occupied node is
+// covered too.
+func TestFailRepairOccupiedConservation(t *testing.T) {
+	shape, err := grid.NewShape(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.New(shape)
+	md := core.New(m)
+	victim := shape.Index(grid.Coord{4, 4})
+	sched := &fault.Schedule{Events: []fault.Event{
+		{Step: 6, Node: victim, Kind: fault.Fail},
+		{Step: 16, Node: victim, Kind: fault.Recover},
+		{Step: 26, Node: victim, Kind: fault.Fail},
+		{Step: 36, Node: victim, Kind: fault.Recover},
+	}}
+	cfg := ContentionConfig{LinkRate: 1, NodeCapacity: 2, FlightTimeout: 8, GridlockWindow: 4}
+	e := New(md, 1, sched)
+	e.EnableContention(cfg)
+
+	routers := []route.Router{route.Limited{}, route.Congested{}}
+	// Cross traffic through the victim from all four sides keeps flights
+	// resident on it (and stalled against it) when the events land.
+	srcs := []grid.Coord{{1, 4}, {7, 4}, {4, 1}, {4, 7}}
+	dsts := []grid.Coord{{7, 4}, {1, 4}, {4, 7}, {4, 1}}
+	var injected, delivered, unreachable, lost, timedOut int
+	sawResidentFail, sawResidentRecover := false, false
+	for step := 0; step < 50; step++ {
+		for i := range srcs {
+			src := shape.Index(srcs[i])
+			if m.Status(src) != mesh.Enabled || !e.Admit(src) {
+				continue
+			}
+			if _, err := e.Inject(src, shape.Index(dsts[i]), routers[step%len(routers)]); err != nil {
+				t.Fatal(err)
+			}
+			injected++
+		}
+		// The events land at the START of Step; note the occupancy going in,
+		// so the test proves it audited the interesting case rather than an
+		// empty mesh. A Fail must catch flights resident ON the victim; a
+		// Recover cannot (nothing routes into a faulty node, and whatever the
+		// Fail caught backtracks out or is lost), so there the interesting
+		// case is flights resident AGAINST it — parked on its neighbors,
+		// stalled by the detour pressure, re-eligible to route through the
+		// victim the moment it heals.
+		occupied := e.Resident(victim) > 0
+		beside := false
+		for d := 0; d < shape.NumDirs() && !beside; d++ {
+			if nb := shape.Neighbor(victim, grid.Dir(d)); nb != grid.InvalidNode && e.Resident(nb) > 0 {
+				beside = true
+			}
+		}
+		e.Step()
+		e.DetachDone(func(f *Flight) {
+			switch {
+			case f.Msg.Arrived:
+				delivered++
+			case f.Msg.Unreachable:
+				unreachable++
+			case f.Msg.Lost:
+				lost++
+			case f.Msg.TimedOut:
+				timedOut++
+			default:
+				t.Fatalf("detached flight not terminal: %v", f.Msg)
+			}
+		})
+		switch {
+		case (step+1 == 6 || step+1 == 26) && occupied:
+			sawResidentFail = true
+		case (step+1 == 16 || step+1 == 36) && beside:
+			sawResidentRecover = true
+		}
+		live := 0
+		census := make(map[grid.NodeID]int)
+		for _, f := range e.Flights() {
+			if !f.Msg.Done() {
+				live++
+			}
+			census[f.Msg.Cur]++
+		}
+		if got := injected - delivered - unreachable - lost - timedOut - live; got != 0 {
+			t.Fatalf("step %d: conservation broken: injected %d != delivered %d + unreachable %d + lost %d + timed-out %d + in-flight %d",
+				step, injected, delivered, unreachable, lost, timedOut, live)
+		}
+		sum := 0
+		for id := 0; id < shape.NumNodes(); id++ {
+			res := e.Resident(grid.NodeID(id))
+			if res != census[grid.NodeID(id)] {
+				t.Fatalf("step %d: node %d residency %d, census %d", step, id, res, census[grid.NodeID(id)])
+			}
+			sum += res
+		}
+		if sum != live {
+			t.Fatalf("step %d: residency sum %d != live flights %d", step, sum, live)
+		}
+	}
+	if !sawResidentFail {
+		t.Error("no Fail event landed on an occupied node; the scenario lost its teeth")
+	}
+	if !sawResidentRecover {
+		t.Error("no Recover event landed on an occupied node; the scenario lost its teeth")
+	}
+	if delivered == 0 {
+		t.Error("nothing delivered across the fail/repair cycles")
+	}
+}
+
 // TestCongestedStepAllocFree extends the steady-state allocation guarantee
 // to the congestion-aware path: a contention step driving congested-router
 // flights — LoadView queries, stall-gated deviation, the pending-counter
@@ -182,6 +297,84 @@ func TestCongestedStepAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("congested contention step allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestFaultProcessStepAllocFree extends the steady-state allocation
+// guarantee to the fault-process-enabled contention step — the regime every
+// E23 Monte-Carlo trial runs in. One op is a full trial cycle on a pooled
+// engine: model reset, engine reset (the schedule cursor rewinds and event
+// records recycle through the free list), then the whole stochastic
+// fail/repair schedule replayed against crossing traffic with timeouts
+// live. After the warm cycles, nothing on that path may allocate: labeling
+// recompute buffers, event records, flight distance samples and the
+// contention counters must all reuse their capacity.
+func TestFaultProcessStepAllocFree(t *testing.T) {
+	shape, err := grid.NewShape(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.New(shape)
+	md := core.New(m)
+	const horizon = 64
+	sched, err := fault.GenerateProcess(shape, fault.ProcessOptions{
+		Arrival: fault.Delay{Model: fault.DelayBernoulli, Rate: 0.08},
+		Repair:  fault.Delay{Model: fault.DelayBernoulli, Rate: 1.0 / 16},
+		Horizon: horizon - 1,
+	}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, recovers := 0, 0
+	for _, ev := range sched.Events {
+		switch ev.Kind {
+		case fault.Fail:
+			fails++
+		case fault.Recover:
+			recovers++
+		}
+	}
+	if fails == 0 || recovers == 0 {
+		t.Fatalf("process drew %d fails / %d recovers; both kinds must exercise the step", fails, recovers)
+	}
+	e := New(md, 1, sched)
+	e.EnableContention(ContentionConfig{LinkRate: 1, NodeCapacity: 4, FlightTimeout: 16, GridlockWindow: 8})
+	srcs := []grid.Coord{{1, 1}, {1, 2}, {2, 1}, {10, 10}, {9, 10}, {10, 9}}
+	dsts := []grid.Coord{{10, 10}, {10, 9}, {9, 10}, {1, 1}, {2, 1}, {1, 2}}
+	// The router is built once, as every load generator does: converting a
+	// non-empty struct to the Router interface at each Inject would allocate.
+	var rtr route.Router = route.Congested{}
+	cycle := func() {
+		md.Reset()
+		e.Reset()
+		for step := 0; step < horizon+16; step++ {
+			for i := range srcs {
+				src := shape.Index(srcs[i])
+				if m.Status(src) != mesh.Enabled || !e.Admit(src) {
+					continue
+				}
+				if _, err := e.Inject(src, shape.Index(dsts[i]), rtr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.Step()
+			e.DetachDone(nil)
+		}
+	}
+	cycle()
+	if len(e.Events) == 0 {
+		t.Fatal("no fault event applied during the cycle; the process is not being measured")
+	}
+	// Warm until every pooled object (flights, walkers, constructions,
+	// watches) has hit its personal high-water mark: recycled flights come
+	// off the free list LIFO, so rarely-used ones warm their routing
+	// scratch late.
+	for i := 0; i < 20; i++ {
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(10, cycle)
+	if allocs != 0 {
+		t.Fatalf("fault-process trial cycle allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 

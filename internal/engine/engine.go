@@ -207,6 +207,11 @@ type Engine struct {
 	spareFlights []*Flight
 	spareEvents  []*EventRecord
 
+	// oracle computes EMaxAfter in finalizeLastEvent with reusable buffers
+	// (a fault process applies events all run long; the centralized Extract
+	// would allocate per event).
+	oracle block.Oracle
+
 	ctn    contention
 	shards shardSet
 
@@ -669,8 +674,14 @@ func (e *Engine) applyEvent(ev fault.Event) {
 	switch ev.Kind {
 	case fault.Fail:
 		e.Model.ApplyFault(ev.Node)
+		if e.probe != nil {
+			e.census.Failed++
+		}
 	case fault.Recover:
 		e.Model.ApplyRecovery(ev.Node)
+		if e.probe != nil {
+			e.census.Recovered++
+		}
 	}
 	// Sample D(i) for every active flight (Theorem 3's measurements).
 	for _, f := range e.flights {
@@ -707,7 +718,7 @@ func (e *Engine) finalizeLastEvent() {
 	rec.BSteps = ceilDiv(rec.BRounds, e.Lambda)
 	rec.CSteps = ceilDiv(rec.CRounds, e.Lambda)
 	rec.Affected = md.Labeling.Affected()
-	rec.EMaxAfter = block.MaxEdge(block.Extract(md.M))
+	rec.EMaxAfter = e.oracle.MaxEdge(md.M)
 	rec.RecordsAfter = md.Store.TotalRecords()
 	rec.finalized = true
 }

@@ -28,6 +28,11 @@ type StepCensus struct {
 	Delivered, Unreachable, Lost, TimedOut int
 	Retried                                int
 
+	// Failed/Recovered count the fault-schedule events applied during the
+	// covered steps — the fault process rendered alongside the traffic it
+	// disturbs.
+	Failed, Recovered int
+
 	// Moves counts flights that advanced one hop; Stalls counts flights
 	// that stayed in place un-terminated (lost arbitration or blocked on a
 	// full buffer). Together with the terminal counters they partition the

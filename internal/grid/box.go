@@ -39,6 +39,32 @@ func (b Box) Clone() Box { return Box{Lo: b.Lo.Clone(), Hi: b.Hi.Clone()} }
 // Equal reports componentwise equality.
 func (b Box) Equal(o Box) bool { return b.Lo.Equal(o.Lo) && b.Hi.Equal(o.Hi) }
 
+// Set overwrites b in place with a copy of o, reusing b's backing arrays
+// when they have the capacity (the pooled-object counterpart of Clone).
+func (b *Box) Set(o Box) {
+	b.Lo = append(b.Lo[:0], o.Lo...)
+	b.Hi = append(b.Hi[:0], o.Hi...)
+}
+
+// SetAt collapses b in place to the degenerate single-node box at c,
+// reusing b's backing arrays (the pooled-object counterpart of BoxAt).
+func (b *Box) SetAt(c Coord) {
+	b.Lo = append(b.Lo[:0], c...)
+	b.Hi = append(b.Hi[:0], c...)
+}
+
+// Extend grows b in place to the hull of b and o (the in-place Hull).
+func (b *Box) Extend(o Box) {
+	for i := range b.Lo {
+		if o.Lo[i] < b.Lo[i] {
+			b.Lo[i] = o.Lo[i]
+		}
+		if o.Hi[i] > b.Hi[i] {
+			b.Hi[i] = o.Hi[i]
+		}
+	}
+}
+
 // Contains reports whether c lies inside the box.
 func (b Box) Contains(c Coord) bool {
 	if len(c) != len(b.Lo) {

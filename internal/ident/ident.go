@@ -61,7 +61,18 @@ type Protocol struct {
 
 	runs    []*run
 	walkers []*walker
-	retryAt map[grid.NodeID]int
+	// spareRuns/spareSubs/spareWalkers are free lists of retired protocol
+	// objects; with them (plus the per-run box arena) a fault process that
+	// cycles identifications through the protocol allocates nothing once
+	// warm. deadFresh/deadReady stage retired runs for recycling: a
+	// deadline-expired run's walkers are only dropped by the NEXT round's
+	// walker filter, so its subRuns must survive one more round.
+	spareRuns    []*run
+	spareSubs    []*subRun
+	spareWalkers []*walker
+	deadFresh    []*run
+	deadReady    []*run
+	retryAt      map[grid.NodeID]int
 	// pending holds nodes to consider for initiation (fed by announcement
 	// changes and by retry wakeups); inPending dedups. pendingSpare is the
 	// drained buffer of the previous round, recycled to avoid a per-round
@@ -75,9 +86,10 @@ type Protocol struct {
 	round      int
 	seq        int
 	wseq       int
-	// scratchA/scratchB are reusable coordinate buffers for initiate, so a
-	// quiescent round performs no allocation.
-	scratchA, scratchB grid.Coord
+	// scratchA/scratchB are reusable coordinate buffers for initiate, and
+	// scratchC for launch/advanceRing, so no round performs a coordinate
+	// allocation.
+	scratchA, scratchB, scratchC grid.Coord
 
 	// Hops counts walker moves (identification message cost).
 	Hops int
@@ -101,6 +113,7 @@ func NewProtocol(m *mesh.Mesh, det *frame.Detector, store *info.Store) *Protocol
 		inPending:  make(map[grid.NodeID]struct{}),
 		scratchA:   make(grid.Coord, m.Shape().Dims()),
 		scratchB:   make(grid.Coord, m.Shape().Dims()),
+		scratchC:   make(grid.Coord, m.Shape().Dims()),
 	}
 }
 
@@ -111,12 +124,87 @@ func (p *Protocol) Reset() {
 	clear(p.retryCount)
 	clear(p.retryAt)
 	clear(p.inPending)
+	p.spareWalkers = append(p.spareWalkers, p.walkers...)
+	for _, r := range p.runs {
+		p.recycleRun(r)
+	}
+	for _, r := range p.deadFresh {
+		p.recycleRun(r)
+	}
+	for _, r := range p.deadReady {
+		p.recycleRun(r)
+	}
+	p.deadFresh = p.deadFresh[:0]
+	p.deadReady = p.deadReady[:0]
 	p.runs = p.runs[:0]
 	p.walkers = p.walkers[:0]
 	p.pending = p.pending[:0]
 	p.retryQueue = p.retryQueue[:0]
 	p.round, p.seq, p.wseq = 0, 0, 0
 	p.Hops, p.Started, p.Completed, p.Failed = 0, 0, 0, 0
+}
+
+// recycleRun parks a retired run and its subRuns on the free lists. Callers
+// must guarantee no live walker still references the run.
+func (p *Protocol) recycleRun(r *run) {
+	p.spareSubs = append(p.spareSubs, r.subs...)
+	p.spareRuns = append(p.spareRuns, r)
+}
+
+// getRun acquires a run from the free list (or allocates one) with all
+// per-run state cleared; map buckets and the box arena keep their storage.
+func (p *Protocol) getRun() *run {
+	if n := len(p.spareRuns); n > 0 {
+		r := p.spareRuns[n-1]
+		p.spareRuns = p.spareRuns[:n-1]
+		clear(r.results)
+		r.failed, r.done = false, false
+		r.top = nil
+		r.subs = r.subs[:0]
+		r.arenaUsed = 0
+		return r
+	}
+	return &run{results: make(map[grid.NodeID]grid.Box)}
+}
+
+// getSub acquires a subRun with containers emptied (capacity retained);
+// the caller sets every scalar field it needs.
+func (p *Protocol) getSub() *subRun {
+	if n := len(p.spareSubs); n > 0 {
+		s := p.spareSubs[n-1]
+		p.spareSubs = p.spareSubs[:n-1]
+		s.r, s.parent = nil, nil
+		s.parentAxis, s.level = 0, 0
+		s.isFirst = false
+		s.freeAxes = s.freeAxes[:0]
+		s.travelAxes = nil
+		clear(s.edgeDir)
+		clear(s.collectorUp)
+		clear(s.collected)
+		s.start, s.dirs = grid.InvalidNode, 0
+		s.ringNode, s.ringBox = grid.InvalidNode, nil
+		s.deliverNode = grid.InvalidNode
+		return s
+	}
+	return &subRun{}
+}
+
+// getWalker acquires a walker with every scalar field zeroed; the seen/res
+// and collect hull boxes keep their backing arrays for reuse.
+func (p *Protocol) getWalker() *walker {
+	var w *walker
+	if n := len(p.spareWalkers); n > 0 {
+		w = p.spareWalkers[n-1]
+		p.spareWalkers = p.spareWalkers[:n-1]
+	} else {
+		w = &walker{}
+	}
+	w.s = nil
+	w.kind = edgeWalker
+	w.pos, w.dir, w.axis = grid.InvalidNode, 0, 0
+	w.inward, w.legs = 0, 0
+	w.hasFirst, w.folded, w.done, w.spawned = false, false, false, false
+	return w
 }
 
 // retryEntry schedules a node for re-consideration at a future round.
@@ -152,8 +240,30 @@ type run struct {
 	done      bool
 	// results holds completed sub-identifications, keyed by the node where
 	// the identified section information rests (the sub's opposite corner).
+	// Every stored box is stashed in the arena first, so map values stay
+	// valid however the walkers that produced them are recycled.
 	results map[grid.NodeID]grid.Box
 	top     *subRun
+	// subs tracks every subRun of the run for free-list recycling.
+	subs []*subRun
+	// arena is the run-owned box storage behind results/collected values;
+	// arenaUsed is the bump cursor, rewound when the run is reused.
+	arena     []grid.Box
+	arenaUsed int
+}
+
+// stash copies b into the run's arena and returns the arena-owned copy,
+// reusing storage left by earlier trials.
+func (r *run) stash(b grid.Box) grid.Box {
+	if r.arenaUsed < len(r.arena) {
+		s := &r.arena[r.arenaUsed]
+		s.Set(b)
+		r.arenaUsed++
+		return *s
+	}
+	r.arena = append(r.arena, b.Clone())
+	r.arenaUsed++
+	return r.arena[len(r.arena)-1]
 }
 
 // subRun is one (possibly nested) k-level identification: the top-level one
@@ -175,9 +285,11 @@ type subRun struct {
 	travelAxes []int
 	edgeDir    map[int]grid.Dir // per travel axis, the phase-1 direction
 
-	// ring rendezvous (level 2 only).
+	// ring rendezvous (level 2 only). ringVal is the sub-owned storage
+	// behind ringBox so the first walker's result survives its recycling.
 	ringNode grid.NodeID
 	ringBox  *grid.Box
+	ringVal  grid.Box
 
 	// phase 3 (level >= 3 only).
 	collectorUp map[int]bool     // travel axis -> collector spawned
@@ -205,12 +317,14 @@ type walker struct {
 	inward grid.Dir // ring: direction toward the block section
 	legs   int      // ring: corners passed
 	seen   grid.Box // ring: extremes of visited corner coordinates
+	res    grid.Box // ring: reusable storage for ringResult
 
-	hull    *grid.Box // collect: accumulated block information
-	first   *grid.Box // collect: first section, for the consistency check
-	folded  bool      // collect: current node's section already folded
-	done    bool
-	spawned bool // edge: whether this position's sub was spawned
+	hullVal  grid.Box // collect: accumulated block information
+	firstVal grid.Box // collect: first section, for the consistency check
+	hasFirst bool     // collect: firstVal/hullVal hold a section
+	folded   bool     // collect: current node's section already folded
+	done     bool
+	spawned  bool // edge: whether this position's sub was spawned
 }
 
 // Round advances the protocol one round: initiates runs at eligible
@@ -229,11 +343,16 @@ func (p *Protocol) Round() int {
 		actions += p.advance(w)
 	}
 
-	// Retire walkers and runs.
+	// Retire walkers and runs. Dropped walkers go straight to the free
+	// list (nothing references a walker but this slice); retired runs are
+	// staged through deadFresh/deadReady because a deadline-expired run's
+	// walkers are only dropped by the NEXT round's walker filter.
 	liveW := p.walkers[:0]
 	for _, w := range p.walkers {
 		if !w.done && !w.s.r.failed && !w.s.r.done {
 			liveW = append(liveW, w)
+		} else {
+			p.spareWalkers = append(p.spareWalkers, w)
 		}
 	}
 	p.walkers = liveW
@@ -241,6 +360,7 @@ func (p *Protocol) Round() int {
 	for _, r := range p.runs {
 		if r.done {
 			p.Completed++
+			p.deadFresh = append(p.deadFresh, r)
 			continue
 		}
 		if r.failed || p.round > r.deadline {
@@ -250,11 +370,16 @@ func (p *Protocol) Round() int {
 			if p.retryCount[r.initiator] < p.MaxRetries {
 				p.retryQueue = append(p.retryQueue, retryEntry{at: p.retryAt[r.initiator], node: r.initiator})
 			}
+			p.deadFresh = append(p.deadFresh, r)
 			continue
 		}
 		liveR = append(liveR, r)
 	}
 	p.runs = liveR
+	for _, r := range p.deadReady {
+		p.recycleRun(r)
+	}
+	p.deadReady, p.deadFresh = p.deadFresh, p.deadReady[:0]
 	return actions
 }
 
@@ -356,17 +481,20 @@ func (p *Protocol) startRun(corner grid.NodeID, ann frame.Announcement) {
 	p.Started++
 	p.retryCount[corner]++
 	n := p.m.Shape().Dims()
-	r := &run{
-		id:        p.seq,
-		initiator: corner,
-		deadline:  p.round + p.TTL,
-		results:   make(map[grid.NodeID]grid.Box),
+	r := p.getRun()
+	r.id = p.seq
+	r.initiator = corner
+	r.deadline = p.round + p.TTL
+	top := p.getSub()
+	top.r = r
+	top.level = n
+	for i := 0; i < n; i++ {
+		top.freeAxes = append(top.freeAxes, i)
 	}
-	free := make([]int, n)
-	for i := range free {
-		free[i] = i
-	}
-	r.top = &subRun{r: r, level: n, freeAxes: free, start: corner, dirs: ann.Dirs}
+	top.start = corner
+	top.dirs = ann.Dirs
+	r.top = top
+	r.subs = append(r.subs, top)
 	p.runs = append(p.runs, r)
 	p.retryAt[corner] = p.round + p.TTL + p.Backoff
 	p.launch(r.top)
@@ -384,16 +512,23 @@ func (p *Protocol) launch(s *subRun) {
 			s.r.failed = true
 			return
 		}
-		startCoord := p.m.Shape().CoordOf(s.start)
-		p.addWalker(&walker{s: s, kind: ringWalker, pos: s.start, dir: di, inward: dj, seen: grid.BoxAt(startCoord)})
-		p.addWalker(&walker{s: s, kind: ringWalker, pos: s.start, dir: dj, inward: di, seen: grid.BoxAt(startCoord)})
+		startCoord := p.m.Shape().Coord(s.start, p.scratchC)
+		for _, pair := range [2][2]grid.Dir{{di, dj}, {dj, di}} {
+			w := p.getWalker()
+			w.s, w.kind, w.pos = s, ringWalker, s.start
+			w.dir, w.inward = pair[0], pair[1]
+			w.seen.SetAt(startCoord)
+			p.addWalker(w)
+		}
 		return
 	}
 	// Phase 1: k-1 edge walkers; the excluded free axis is the highest.
 	s.travelAxes = s.freeAxes[:len(s.freeAxes)-1]
-	s.edgeDir = make(map[int]grid.Dir, len(s.travelAxes))
-	s.collectorUp = make(map[int]bool, len(s.travelAxes))
-	s.collected = make(map[int]grid.Box, len(s.travelAxes))
+	if s.edgeDir == nil {
+		s.edgeDir = make(map[int]grid.Dir, len(s.travelAxes))
+		s.collectorUp = make(map[int]bool, len(s.travelAxes))
+		s.collected = make(map[int]grid.Box, len(s.travelAxes))
+	}
 	s.deliverNode = grid.InvalidNode
 	for _, a := range s.travelAxes {
 		d, ok := axisDir(s.dirs, a)
@@ -402,7 +537,10 @@ func (p *Protocol) launch(s *subRun) {
 			return
 		}
 		s.edgeDir[a] = d
-		p.addWalker(&walker{s: s, kind: edgeWalker, pos: s.start, dir: d, axis: a})
+		w := p.getWalker()
+		w.s, w.kind, w.pos = s, edgeWalker, s.start
+		w.dir, w.axis = d, a
+		p.addWalker(w)
 	}
 }
 
@@ -484,22 +622,20 @@ func (p *Protocol) advanceEdge(w *walker) int {
 // whose corner role within the cross-section is dirs.
 func (p *Protocol) spawnSub(w *walker, node grid.NodeID, dirs grid.DirSet) {
 	parent := w.s
-	free := make([]int, 0, len(parent.freeAxes)-1)
+	sub := p.getSub()
+	sub.r = parent.r
+	sub.parent = parent
+	sub.parentAxis = w.axis
+	sub.isFirst = !w.spawned
+	sub.level = parent.level - 1
 	for _, a := range parent.freeAxes {
 		if a != w.axis {
-			free = append(free, a)
+			sub.freeAxes = append(sub.freeAxes, a)
 		}
 	}
-	sub := &subRun{
-		r:          parent.r,
-		parent:     parent,
-		parentAxis: w.axis,
-		isFirst:    !w.spawned,
-		level:      parent.level - 1,
-		freeAxes:   free,
-		start:      node,
-		dirs:       dirs,
-	}
+	sub.start = node
+	sub.dirs = dirs
+	parent.r.subs = append(parent.r.subs, sub)
 	w.spawned = true
 	p.launch(sub)
 }
@@ -519,7 +655,7 @@ func (p *Protocol) advanceRing(w *walker) int {
 	if alongside {
 		return 1
 	}
-	cd := p.m.Shape().CoordOf(next)
+	cd := p.m.Shape().Coord(next, p.scratchC)
 	w.seen.Include(cd)
 	w.legs++
 	if w.legs < 2 {
@@ -537,8 +673,11 @@ func (p *Protocol) advanceRing(w *walker) int {
 	w.done = true
 	s := w.s
 	if s.ringBox == nil {
+		// Copy into sub-owned storage: the walker (and its res buffer) is
+		// recycled at the end of this round, the rendezvous box is not.
 		s.ringNode = next
-		s.ringBox = &box
+		s.ringVal.Set(box)
+		s.ringBox = &s.ringVal
 		return 1
 	}
 	if s.ringNode != next || !s.ringBox.Equal(box) {
@@ -552,17 +691,18 @@ func (p *Protocol) advanceRing(w *walker) int {
 // ringResult turns the extremes the walker has seen into the identified
 // section: the ring axes shrink by one on each side (from the shell to the
 // interior), all other axes stay pinned at the walker's fixed coordinates.
+// The returned box lives in the walker's reusable res buffer; callers that
+// outlive the walker must copy it.
 func (w *walker) ringResult() (grid.Box, bool) {
-	lo := w.seen.Lo.Clone()
-	hi := w.seen.Hi.Clone()
+	w.res.Set(w.seen)
 	for _, a := range w.s.freeAxes {
-		lo[a]++
-		hi[a]--
-		if lo[a] > hi[a] {
+		w.res.Lo[a]++
+		w.res.Hi[a]--
+		if w.res.Lo[a] > w.res.Hi[a] {
 			return grid.Box{}, false
 		}
 	}
-	return grid.Box{Lo: lo, Hi: hi}, true
+	return w.res, true
 }
 
 func (p *Protocol) advanceCollect(w *walker) int {
@@ -572,11 +712,10 @@ func (p *Protocol) advanceCollect(w *walker) int {
 		if !ok {
 			return 0 // the section here has not been identified yet: wait
 		}
-		if w.first == nil {
-			b := box.Clone()
-			w.first = &b
-			h := box.Clone()
-			w.hull = &h
+		if !w.hasFirst {
+			w.firstVal.Set(box)
+			w.hullVal.Set(box)
+			w.hasFirst = true
 		} else {
 			// Consistency check of phase 3: every section must have the
 			// same extents on all axes other than the travel axis.
@@ -584,12 +723,12 @@ func (p *Protocol) advanceCollect(w *walker) int {
 				if l == w.axis {
 					continue
 				}
-				if box.Lo[l] != w.first.Lo[l] || box.Hi[l] != w.first.Hi[l] {
+				if box.Lo[l] != w.firstVal.Lo[l] || box.Hi[l] != w.firstVal.Hi[l] {
 					s.r.failed = true
 					return 0
 				}
 			}
-			*w.hull = w.hull.Hull(box)
+			w.hullVal.Extend(box)
 		}
 		w.folded = true
 	}
@@ -613,7 +752,7 @@ func (p *Protocol) advanceCollect(w *walker) int {
 		w.pos = next
 		w.done = true
 		p.Hops++
-		p.deliver(s, w.axis, next, *w.hull)
+		p.deliver(s, w.axis, next, w.hullVal)
 		return 1
 	default:
 		return 0
@@ -633,22 +772,25 @@ func (p *Protocol) deliver(s *subRun, axis int, corner grid.NodeID, hull grid.Bo
 		s.r.failed = true
 		return
 	}
-	s.collected[axis] = hull
+	// Stash the hull in the run arena: the collector walker that owns the
+	// hull buffer is recycled before the sub completes.
+	s.collected[axis] = s.r.stash(hull)
 	if len(s.collected) < len(s.travelAxes) {
 		return
 	}
-	var final *grid.Box
+	var final grid.Box
+	haveFinal := false
 	for _, a := range s.travelAxes {
 		b := s.collected[a]
-		if final == nil {
-			c := b.Clone()
-			final = &c
+		if !haveFinal {
+			final = b // arena-owned: stable until the run is recycled
+			haveFinal = true
 		} else if !final.Equal(b) {
 			s.r.failed = true
 			return
 		}
 	}
-	p.completeSub(s, corner, *final)
+	p.completeSub(s, corner, final)
 }
 
 // completeSub finishes a sub-identification: the identified box is now
@@ -664,16 +806,13 @@ func (p *Protocol) completeSub(s *subRun, node grid.NodeID, box grid.Box) {
 		}
 		return
 	}
-	s.r.results[node] = box
+	s.r.results[node] = s.r.stash(box)
 	parent := s.parent
 	if s.isFirst && !parent.collectorUp[s.parentAxis] {
 		parent.collectorUp[s.parentAxis] = true
-		p.addWalker(&walker{
-			s:    parent,
-			kind: collectWalker,
-			pos:  node,
-			dir:  parent.edgeDir[s.parentAxis],
-			axis: s.parentAxis,
-		})
+		w := p.getWalker()
+		w.s, w.kind, w.pos = parent, collectWalker, node
+		w.dir, w.axis = parent.edgeDir[s.parentAxis], s.parentAxis
+		p.addWalker(w)
 	}
 }

@@ -48,13 +48,19 @@ func (s *Store) Has(id grid.NodeID, box grid.Box) bool {
 	return false
 }
 
-// Add deposits a record at node id. If the node already holds a record with
-// the same box, the epoch is refreshed to the larger value and Add returns
-// false (nothing new). If the node holds records whose boxes are strictly
-// contained in the new box with an older epoch — information from before
-// the block grew — those records are replaced (the paper's "propagation may
-// also incur a deletion of out of date boundaries"). Returns true if the
-// node's information actually changed.
+// Add deposits a record at node id, copying the box (the store owns its
+// record storage; callers keep ownership of the box they pass). If the node
+// already holds a record with the same box, the epoch is refreshed to the
+// larger value and Add returns false (nothing new). If the node holds
+// records whose boxes are strictly contained in the new box with an older
+// epoch — information from before the block grew — those records are
+// replaced (the paper's "propagation may also incur a deletion of out of
+// date boundaries"). Returns true if the node's information actually
+// changed.
+//
+// Record slots freed by Clear, Remove or dominated-record replacement keep
+// their box arrays in the slice's spare capacity and are reused by later
+// deposits, so a store cycling through trials allocates nothing once warm.
 func (s *Store) Add(id grid.NodeID, rec Record) bool {
 	rs := s.recs[id]
 	for i := range rs {
@@ -66,32 +72,43 @@ func (s *Store) Add(id grid.NodeID, rec Record) bool {
 		}
 	}
 	// Drop dominated stale records: an older record whose box lies inside
-	// the new one describes the same obstacle before it grew.
-	kept := rs[:0]
-	changed := false
-	for _, r := range rs {
-		if r.Epoch < rec.Epoch && contained(r.Box, rec.Box) {
+	// the new one describes the same obstacle before it grew. Compaction
+	// swaps (rather than overwrites) so every dropped slot keeps a unique
+	// box header in the spare capacity for reuse.
+	kept := 0
+	for i := 0; i < len(rs); i++ {
+		if rs[i].Epoch < rec.Epoch && contained(rs[i].Box, rec.Box) {
 			s.total--
-			changed = true
 			continue
 		}
-		kept = append(kept, r)
+		if kept != i {
+			rs[kept], rs[i] = rs[i], rs[kept]
+		}
+		kept++
 	}
-	s.recs[id] = append(kept, rec)
+	rs = rs[:kept]
+	if kept < cap(rs) {
+		rs = rs[:kept+1]
+		rs[kept].Box.Set(rec.Box)
+		rs[kept].Epoch = rec.Epoch
+	} else {
+		rs = append(rs, Record{Box: rec.Box.Clone(), Epoch: rec.Epoch})
+	}
+	s.recs[id] = rs
 	s.total++
-	_ = changed
 	return true
 }
 
 // Remove deletes the record with the given box from node id, returning
 // whether a record was removed. Removal is epoch-guarded: records deposited
 // at or after minEpoch survive (a cancellation launched for an old
-// construction must not erase newer information).
+// construction must not erase newer information). The freed slot's box
+// arrays stay in the slice's spare capacity for Add to reuse.
 func (s *Store) Remove(id grid.NodeID, box grid.Box, minEpoch uint32) bool {
 	rs := s.recs[id]
 	for i := range rs {
 		if rs[i].Box.Equal(box) && rs[i].Epoch < minEpoch {
-			rs[i] = rs[len(rs)-1]
+			rs[i], rs[len(rs)-1] = rs[len(rs)-1], rs[i]
 			s.recs[id] = rs[:len(rs)-1]
 			s.total--
 			return true

@@ -47,8 +47,8 @@ func TestTimeSeriesCSV(t *testing.T) {
 	ts := NewTimeSeries(4)
 	ts.ObserveStep(engine.StepCensus{
 		Step: 7, Steps: 2, Injected: 3, Delivered: 2, Unreachable: 1,
-		Lost: 4, TimedOut: 5, Retried: 5, Moves: 6, Stalls: 8,
-		InFlight: 9, Gridlocked: true,
+		Lost: 4, TimedOut: 5, Retried: 5, Failed: 1, Recovered: 2,
+		Moves: 6, Stalls: 8, InFlight: 9, Gridlocked: true,
 	})
 	var buf bytes.Buffer
 	if err := ts.WriteCSV(&buf); err != nil {
@@ -61,8 +61,8 @@ func TestTimeSeriesCSV(t *testing.T) {
 	if lines[0] != strings.Join(TimeSeriesSchema, ",") {
 		t.Fatalf("header %q does not match TimeSeriesSchema", lines[0])
 	}
-	if lines[1] != "7,2,3,2,1,4,5,5,6,8,9,1" {
-		t.Fatalf("row %q, want 7,2,3,2,1,4,5,5,6,8,9,1", lines[1])
+	if lines[1] != "7,2,3,2,1,4,5,5,1,2,6,8,9,1" {
+		t.Fatalf("row %q, want 7,2,3,2,1,4,5,5,1,2,6,8,9,1", lines[1])
 	}
 }
 

@@ -18,6 +18,8 @@ type SnapshotState struct {
 	Lost        int  `json:"lost"`
 	TimedOut    int  `json:"timed_out"`
 	Retried     int  `json:"retried"`
+	Failed      int  `json:"failed"`
+	Recovered   int  `json:"recovered"`
 	Moves       int  `json:"moves"`
 	Stalls      int  `json:"stalls"`
 	InFlight    int  `json:"in_flight"`
@@ -44,6 +46,8 @@ func (sn *Snapshot) ObserveStep(c engine.StepCensus) {
 	sn.s.Lost += c.Lost
 	sn.s.TimedOut += c.TimedOut
 	sn.s.Retried += c.Retried
+	sn.s.Failed += c.Failed
+	sn.s.Recovered += c.Recovered
 	sn.s.Moves += c.Moves
 	sn.s.Stalls += c.Stalls
 	sn.s.InFlight = c.InFlight

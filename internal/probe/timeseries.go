@@ -15,6 +15,7 @@ type Row struct {
 	Injected                               int
 	Delivered, Unreachable, Lost, TimedOut int
 	Retried                                int
+	Failed, Recovered                      int
 	Moves, Stalls                          int
 	InFlight                               int
 	Gridlocked                             bool
@@ -24,7 +25,8 @@ type Row struct {
 // manifest embeds it so consumers never guess.
 var TimeSeriesSchema = []string{
 	"step", "steps", "injected", "delivered", "unreachable", "lost",
-	"timed_out", "retried", "moves", "stalls", "in_flight", "gridlocked",
+	"timed_out", "retried", "failed", "recovered", "moves", "stalls",
+	"in_flight", "gridlocked",
 }
 
 // TimeSeries records one Row per flush into a pre-sized ring: the last
@@ -59,7 +61,8 @@ func (t *TimeSeries) ObserveStep(c engine.StepCensus) {
 		Delivered: c.Delivered, Unreachable: c.Unreachable,
 		Lost: c.Lost, TimedOut: c.TimedOut,
 		Retried: c.Retried,
-		Moves:   c.Moves, Stalls: c.Stalls,
+		Failed:  c.Failed, Recovered: c.Recovered,
+		Moves: c.Moves, Stalls: c.Stalls,
 		InFlight:   c.InFlight,
 		Gridlocked: c.Gridlocked,
 	}
@@ -104,10 +107,10 @@ func (t *TimeSeries) WriteCSV(w io.Writer) error {
 		if r.Gridlocked {
 			g = 1
 		}
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Step, r.Steps, r.Injected, r.Delivered, r.Unreachable,
-			r.Lost, r.TimedOut, r.Retried, r.Moves, r.Stalls,
-			r.InFlight, g); err != nil {
+			r.Lost, r.TimedOut, r.Retried, r.Failed, r.Recovered,
+			r.Moves, r.Stalls, r.InFlight, g); err != nil {
 			return err
 		}
 	}

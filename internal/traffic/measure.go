@@ -161,6 +161,17 @@ type LoadPoint struct {
 	// with retried requests re-counted under Offered/Injected when the
 	// source re-offers them.
 	TimedOut, Retried int
+	// RetryDropped counts measured retries still pending when the run
+	// ended — timed-out requests whose backoff outlived the injection
+	// window, so they were never re-offered (open-loop retry only; the
+	// closed loop's deferred slots surface as Unfinished window pressure).
+	// Without it the gap between Retried and the re-offers would be silent.
+	RetryDropped int
+	// Failed/Recovered count the fault-process events the engine actually
+	// applied during the run — whole-run totals (a fault process
+	// deliberately spans warmup, measure and drain), not restricted to the
+	// measurement window like the traffic counters above.
+	Failed, Recovered int
 	// Gridlocked reports that the engine's zero-progress detector was still
 	// latched when the run ended: a terminal gridlock no escape mechanism
 	// resolved (the run was cut short rather than spun to its budget).

@@ -1,0 +1,117 @@
+package traffic
+
+import (
+	"ndmesh/internal/grid"
+	"ndmesh/internal/rng"
+)
+
+// RetrySource closes ROADMAP item 3's leftover: the open-loop generator
+// ignores what the network does with its traffic, so a flight killed by
+// the engine's flight timeout used to vanish — the run silently delivered
+// less than it offered. RetrySource wraps an open-loop Injector and
+// re-offers timed-out requests under the same jittered exponential
+// backoff the closed loop uses (ClosedLoop.Timeout), with two deliberate
+// differences: the retried request keeps its original destination (an
+// open loop has no per-node request identity to redraw), and the backoff
+// delays only the retried request — fresh open-loop arrivals keep
+// flowing, because an open loop is not self-throttling.
+//
+// Retries are emitted through Step *before* the inner source's fresh
+// arrivals (older traffic first), so a TraceRecorder wrapping the
+// RetrySource records them as ordinary offers and a replay needs no
+// retry machinery of its own — the recorded stream already carries them.
+//
+// Determinism: the jitter draws from the stream handed to NewRetrySource
+// at Timeout time; the engine harvests in flight-injection order, so the
+// draw sequence is fixed. Steady state allocates nothing: the pending
+// queue compacts in place and the per-source streaks are a flat array.
+type RetrySource struct {
+	inner   Injector
+	r       *rng.Source
+	backoff int
+
+	pending  []retryItem
+	attempts []int // per-source consecutive-timeout streak
+	step     int   // Step() calls so far — the backoff clock
+	retried  int
+}
+
+type retryItem struct {
+	src, dst grid.NodeID
+	due      int
+	// measured carries the caller's phase attribution of the killed
+	// flight, so dropped retries can be accounted against the right
+	// window without this package knowing about Phases.
+	measured bool
+}
+
+// NewRetrySource wraps inner so timed-out requests reported through
+// Timeout are re-offered. base is the backoff base delay in steps
+// (attempt k waits base<<(k-1), capped at backoffMaxShift, plus a uniform
+// jitter of the same magnitude; base <= 0 retries on the next step).
+func NewRetrySource(inner Injector, numNodes, base int, r *rng.Source) *RetrySource {
+	if base < 0 {
+		base = 0
+	}
+	return &RetrySource{inner: inner, r: r, backoff: base, attempts: make([]int, numNodes)}
+}
+
+// Step implements Injector: due retries first, in kill order, then the
+// inner source's fresh arrivals. A refused retry (full source queue or
+// bad node) stays pending and is re-attempted next step — mirroring the
+// closed loop, which defers rather than drops.
+func (q *RetrySource) Step(emit func(src, dst grid.NodeID) bool) {
+	kept := q.pending[:0]
+	for _, it := range q.pending {
+		if it.due > q.step || !emit(it.src, it.dst) {
+			kept = append(kept, it)
+		}
+	}
+	q.pending = kept
+	q.inner.Step(emit)
+	q.step++
+}
+
+// Timeout schedules a re-offer of the killed request (src, dst) after the
+// source's backoff expires; measured is the caller's phase attribution,
+// echoed by PendingMeasured. Every Timeout counts as one retry.
+func (q *RetrySource) Timeout(src, dst grid.NodeID, measured bool) {
+	q.attempts[src]++
+	q.retried++
+	delay := 0
+	if q.backoff > 0 {
+		shift := q.attempts[src] - 1
+		if shift > backoffMaxShift {
+			shift = backoffMaxShift
+		}
+		delay = q.backoff << shift
+		delay += q.r.Intn(delay) // jitter: [0, delay)
+	}
+	q.pending = append(q.pending, retryItem{src: src, dst: dst, due: q.step + delay, measured: measured})
+}
+
+// Settle ends src's consecutive-timeout streak: one of its requests
+// reached a terminal outcome other than a timeout, so the next timeout
+// backs off from the base delay again (the closed loop resets the same
+// way on Release).
+func (q *RetrySource) Settle(src grid.NodeID) { q.attempts[src] = 0 }
+
+// Retried returns how many timed-out requests have been scheduled for
+// retry.
+func (q *RetrySource) Retried() int { return q.retried }
+
+// Pending returns the retries scheduled but not yet re-offered.
+func (q *RetrySource) Pending() int { return len(q.pending) }
+
+// PendingMeasured returns the pending retries whose killed flight was
+// attributed to the measurement window — the requests that will be
+// dropped if injection closes before their backoff expires.
+func (q *RetrySource) PendingMeasured() int {
+	n := 0
+	for _, it := range q.pending {
+		if it.measured {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,294 @@
+package ndmesh
+
+// This file is E23, the Monte-Carlo reliability experiment: the paper's
+// dynamic-routing claim measured as reliability curves. Every cell of the
+// (pattern, fault rate, router) grid runs Trials independent load runs,
+// each under a different draw of the stochastic fault process
+// (fault.GenerateProcess — failures arriving throughout warmup, measure
+// and drain, optionally repaired), and the curve reports what fraction of
+// the offered traffic the network still delivered, what became
+// unreachable, and how latency degraded, as a function of the per-step
+// failure rate. Because the process draws from a stream split off the
+// trial's, the offered workload is the identical byte sequence at every
+// fault rate — the curves compare fault regimes, not traffic accidents.
+//
+// Determinism follows the repository contract: one rng stream is split
+// per trial in job order (cells outer, trials inner), each trial writes
+// only its own LoadPoint slot, and the fold from trial points into rows
+// is a serial pass over that slice — so the rows are byte-identical for
+// every worker count and every shard count.
+
+import (
+	"fmt"
+
+	"ndmesh/internal/grid"
+	"ndmesh/internal/par"
+	"ndmesh/internal/route"
+	"ndmesh/internal/traffic"
+)
+
+// ReliabilityOptions configures the E23 grid: the cross product of
+// Patterns x FaultRates x Routers, each cell Trials Monte-Carlo load runs.
+type ReliabilityOptions struct {
+	Dims   []int
+	Lambda int
+	// Routers, Patterns and FaultRates span the grid. A fault rate of 0 is
+	// the fault-free baseline column; nonzero rates are mean failures per
+	// step under FaultModel (bernoulli | weibull, FaultShape the weibull
+	// shape). FaultRepair > 0 repairs failed nodes after a mean delay of
+	// that many steps; Clustered grows each failure adjacent to the live
+	// faulty set.
+	Routers     []string
+	Patterns    []string
+	FaultRates  []float64
+	FaultModel  string
+	FaultShape  float64
+	FaultRepair float64
+	Clustered   bool
+	// Trials is the Monte-Carlo sample size per cell: every trial re-draws
+	// the fault schedule AND the traffic from its own stream.
+	Trials int
+	// Rate/Process drive the open-loop workload of every trial.
+	Rate    float64
+	Process string
+	// Warmup/Measure/Drain are the phase lengths in steps.
+	Warmup, Measure, Drain int
+	// LinkRate/NodeCapacity/Congestion configure contention; FlightTimeout,
+	// RetryBackoff, Bubble and GridlockWindow the escape mechanisms (see
+	// SaturationOptions). A flight timeout matters more here than anywhere:
+	// flights wedged behind a fresh fault are killed back to their source
+	// and re-offered instead of pinning buffers forever.
+	LinkRate, NodeCapacity      int
+	Congestion                  route.CongestionConfig
+	FlightTimeout, RetryBackoff int
+	Bubble                      bool
+	GridlockWindow              int
+	// Workers is the parallel fan-out width (< 1 means GOMAXPROCS); Shards
+	// the intra-step shard-worker count per trial. Both leave the rows
+	// byte-identical at every value.
+	Workers, Shards int
+	// Progress, when non-nil, is called after every completed trial with
+	// (done, total); must be safe for concurrent use.
+	Progress func(done, total int)
+}
+
+// DefaultReliability returns the standard E23 configuration: an 8x8 mesh
+// under moderate uniform open-loop load, fault rates from fault-free to
+// roughly one failure every 25 steps, memoryless arrivals with repair, and
+// flight timeouts so faults shed wedged traffic instead of accreting it.
+// Trials is sized for interactive runs; production curves push it to the
+// thousands (the parallel engine makes that a flag, not a rewrite).
+func DefaultReliability() ReliabilityOptions {
+	return ReliabilityOptions{
+		Dims:          []int{8, 8},
+		Lambda:        1,
+		Routers:       []string{"limited"},
+		Patterns:      []string{"uniform"},
+		FaultRates:    []float64{0, 0.005, 0.01, 0.02, 0.04},
+		FaultModel:    "bernoulli",
+		FaultRepair:   150,
+		Trials:        16,
+		Rate:          0.1,
+		Process:       "bernoulli",
+		Warmup:        64,
+		Measure:       256,
+		Drain:         256,
+		LinkRate:      1,
+		FlightTimeout: 48,
+		RetryBackoff:  4,
+	}
+}
+
+// ReliabilityRow is one (pattern, fault rate, router) cell of the E23
+// grid, folded over its Monte-Carlo trials.
+type ReliabilityRow struct {
+	Dims    string
+	Pattern string
+	Router  string
+	// FaultRate is the mean failures per step; Trials the Monte-Carlo
+	// sample size the row aggregates.
+	FaultRate float64
+	Trials    int
+	// Injected..Unfinished are totals across all trials' measurement
+	// windows; DeliveredFrac/UnreachableFrac/LostFrac/TimedOutFrac are the
+	// corresponding fractions of Injected — the reliability curve proper.
+	Injected, Delivered, Unreachable, Lost int
+	TimedOut, Unfinished, RetryDropped     int
+	DeliveredFrac, UnreachableFrac         float64
+	LostFrac, TimedOutFrac                 float64
+	// AcceptedRate is the mean delivered throughput per node-step across
+	// trials; MeanFailed/MeanRecovered the mean fault-process event counts
+	// actually applied per trial (whole-run, not just the measure window);
+	// GridlockedTrials how many trials ended terminally gridlocked.
+	AcceptedRate              float64
+	MeanFailed, MeanRecovered float64
+	GridlockedTrials          int
+	// LatMean is the delivered-weighted mean latency across trials;
+	// LatP50Mean/LatP99Mean average the per-trial quantiles over trials
+	// that delivered anything; LatMax is the worst delivered latency seen
+	// in any trial.
+	LatMean                float64
+	LatP50Mean, LatP99Mean float64
+	LatMax                 int
+}
+
+// ReliabilitySweep runs the E23 reliability grid with all available cores.
+func ReliabilitySweep(opt ReliabilityOptions, seed uint64) ([]ReliabilityRow, error) {
+	opt.Workers = 0
+	return reliabilitySweep(opt, seed)
+}
+
+// ReliabilitySweepWorkers is ReliabilitySweep with an explicit worker
+// count (each Monte-Carlo trial is one parallel job).
+func ReliabilitySweepWorkers(opt ReliabilityOptions, seed uint64, workers int) ([]ReliabilityRow, error) {
+	opt.Workers = workers
+	return reliabilitySweep(opt, seed)
+}
+
+func reliabilitySweep(opt ReliabilityOptions, seed uint64) ([]ReliabilityRow, error) {
+	if len(opt.Routers) == 0 || len(opt.Patterns) == 0 || len(opt.FaultRates) == 0 {
+		return nil, fmt.Errorf("ndmesh: reliability sweep needs at least one router, pattern and fault rate")
+	}
+	if opt.Trials < 1 {
+		return nil, fmt.Errorf("ndmesh: reliability sweep needs Trials >= 1 (got %d)", opt.Trials)
+	}
+	if opt.Rate <= 0 {
+		return nil, fmt.Errorf("ndmesh: reliability sweep needs an open-loop rate > 0")
+	}
+	proc, err := traffic.ProcessByName(opt.Process)
+	if err != nil {
+		return nil, err
+	}
+	if max := proc.MaxRate(); opt.Rate > max {
+		return nil, fmt.Errorf("ndmesh: rate %v exceeds what the %s process can offer (max %v msgs/node/step)", opt.Rate, proc.Name(), max)
+	}
+	maxRate := 0.0
+	for _, fr := range opt.FaultRates {
+		if fr < 0 || fr > 1 {
+			return nil, fmt.Errorf("ndmesh: fault rate %v out of range [0, 1]", fr)
+		}
+		if fr > maxRate {
+			maxRate = fr
+		}
+	}
+	// Validate (and default) the shared run shape and the fault-process
+	// parameters once against a representative cell, then copy the
+	// defaulted values back so every cell runs the identical configuration.
+	probe := SaturationOptions{
+		Dims: opt.Dims, Lambda: opt.Lambda,
+		Warmup: opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
+		LinkRate: opt.LinkRate, NodeCapacity: opt.NodeCapacity,
+		FlightTimeout: opt.FlightTimeout, RetryBackoff: opt.RetryBackoff,
+		Bubble: opt.Bubble, GridlockWindow: opt.GridlockWindow,
+		FaultRate: maxRate, FaultModel: opt.FaultModel,
+		FaultShape: opt.FaultShape, FaultRepair: opt.FaultRepair,
+		Clustered: opt.Clustered,
+		Shards:    opt.Shards,
+	}
+	if err := validateLoadShape(&probe); err != nil {
+		return nil, err
+	}
+	opt.Lambda, opt.LinkRate, opt.Shards = probe.Lambda, probe.LinkRate, probe.Shards
+	opt.FaultModel, opt.FaultShape = probe.FaultModel, probe.FaultShape
+	shape, err := grid.NewShape(opt.Dims...)
+	if err != nil {
+		return nil, err
+	}
+
+	// One job per Monte-Carlo trial; cells pattern-major, then fault rate,
+	// then router, trials innermost — the order the streams are split in.
+	nf, nk, nt := len(opt.FaultRates), len(opt.Routers), opt.Trials
+	cells := len(opt.Patterns) * nf * nk
+	jobs := cells * nt
+	rngs := splitN(seed, jobs)
+	pts := make([]traffic.LoadPoint, jobs)
+	progress := progressCounter(opt.Progress, jobs)
+	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
+		cell := j / nt
+		pattern := opt.Patterns[cell/(nf*nk)]
+		faultRate := opt.FaultRates[cell/nk%nf]
+		sopt := SaturationOptions{
+			Dims: opt.Dims, Lambda: opt.Lambda,
+			Process: opt.Process,
+			Warmup:  opt.Warmup, Measure: opt.Measure, Drain: opt.Drain,
+			LinkRate: opt.LinkRate, NodeCapacity: opt.NodeCapacity,
+			Congestion:    opt.Congestion,
+			FlightTimeout: opt.FlightTimeout, RetryBackoff: opt.RetryBackoff,
+			Bubble: opt.Bubble, GridlockWindow: opt.GridlockWindow,
+			FaultRate: faultRate, FaultModel: opt.FaultModel,
+			FaultShape: opt.FaultShape, FaultRepair: opt.FaultRepair,
+			Clustered: opt.Clustered,
+			Shards:    opt.Shards,
+		}
+		pt, err := p.loadPoint(sopt, workload{pattern: pattern, rate: opt.Rate}, opt.Routers[cell%nk], rngs[j])
+		if err != nil {
+			return err
+		}
+		pts[j] = pt
+		progress()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Serial fold: trial points into one row per cell, in cell order.
+	rows := make([]ReliabilityRow, cells)
+	for c := 0; c < cells; c++ {
+		row := ReliabilityRow{
+			Dims:      shape.String(),
+			Pattern:   opt.Patterns[c/(nf*nk)],
+			Router:    opt.Routers[c%nk],
+			FaultRate: opt.FaultRates[c/nk%nf],
+			Trials:    nt,
+		}
+		failed, recovered := 0, 0
+		latNum, accepted := 0.0, 0.0
+		p50, p99 := 0.0, 0.0
+		delTrials := 0
+		for t := 0; t < nt; t++ {
+			pt := pts[c*nt+t]
+			row.Injected += pt.Injected
+			row.Delivered += pt.Delivered
+			row.Unreachable += pt.Unreachable
+			row.Lost += pt.Lost
+			row.TimedOut += pt.TimedOut
+			row.Unfinished += pt.Unfinished
+			row.RetryDropped += pt.RetryDropped
+			failed += pt.Failed
+			recovered += pt.Recovered
+			accepted += pt.AcceptedRate
+			if pt.Gridlocked {
+				row.GridlockedTrials++
+			}
+			if pt.Delivered > 0 {
+				latNum += pt.Latency.Mean * float64(pt.Delivered)
+				p50 += float64(pt.Latency.P50)
+				p99 += float64(pt.Latency.P99)
+				delTrials++
+				if pt.Latency.Max > row.LatMax {
+					row.LatMax = pt.Latency.Max
+				}
+			}
+		}
+		if row.Injected > 0 {
+			inj := float64(row.Injected)
+			row.DeliveredFrac = float64(row.Delivered) / inj
+			row.UnreachableFrac = float64(row.Unreachable) / inj
+			row.LostFrac = float64(row.Lost) / inj
+			row.TimedOutFrac = float64(row.TimedOut) / inj
+		}
+		row.MeanFailed = float64(failed) / float64(nt)
+		row.MeanRecovered = float64(recovered) / float64(nt)
+		row.AcceptedRate = accepted / float64(nt)
+		if row.Delivered > 0 {
+			row.LatMean = latNum / float64(row.Delivered)
+		}
+		if delTrials > 0 {
+			row.LatP50Mean = p50 / float64(delTrials)
+			row.LatP99Mean = p99 / float64(delTrials)
+		}
+		rows[c] = row
+	}
+	return rows, nil
+}

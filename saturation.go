@@ -61,10 +61,30 @@ type SaturationOptions struct {
 	// detector with that window; an escape-less run that gridlocks is cut
 	// short (and reported Gridlocked) instead of spinning to its budget.
 	GridlockWindow int
-	// Faults > 0 overlays a dynamic fault schedule (FaultInterval steps
-	// apart, clustered into one block when Clustered) on every run.
+	// Faults > 0 overlays a fixed-count fault schedule (FaultInterval steps
+	// apart, clustered into one block when Clustered) on every run. When
+	// FaultInterval is 0 the interval defaults to Total/(Faults+1), so the
+	// schedule spans warmup, measure AND drain. (Earlier versions hard-coded
+	// the first fault to step 2, which front-loaded every fault before the
+	// warmup ended — the measure phase never saw a fault arrive.)
 	Faults, FaultInterval int
 	Clustered             bool
+	// FaultStart pins the step of the first fault (>= 1); 0 defaults to one
+	// interval in, so the schedule is spread across the run.
+	FaultStart int
+	// FaultRate > 0 replaces the fixed-count overlay with a stochastic
+	// fault process (fault.GenerateProcess): failures arrive throughout the
+	// whole run with mean rate FaultRate per step under FaultModel
+	// (bernoulli | weibull; FaultShape is the weibull shape, default 1.5).
+	// FaultRepair > 0 repairs every failed node a random delay later (mean
+	// FaultRepair steps, geometric). The process draws from a dedicated rng
+	// stream split off the cell's, so the offered traffic is byte-identical
+	// across fault rates/models/repair settings. Mutually exclusive with
+	// Faults.
+	FaultRate   float64
+	FaultModel  string
+	FaultShape  float64
+	FaultRepair float64
 	// Workers is the parallel fan-out width; < 1 means GOMAXPROCS. The
 	// results are identical for every value.
 	Workers int
@@ -273,6 +293,32 @@ func validateLoadShape(opt *SaturationOptions) error {
 	if opt.Bubble && opt.NodeCapacity == 1 {
 		return fmt.Errorf("ndmesh: bubble admission with capacity 1 can never admit a flight (NodeCapacity must be >= 2)")
 	}
+	if opt.FaultStart < 0 {
+		return fmt.Errorf("ndmesh: FaultStart %d must be >= 0", opt.FaultStart)
+	}
+	if opt.FaultRate < 0 || opt.FaultRate > 1 {
+		return fmt.Errorf("ndmesh: fault rate %v out of range [0, 1]", opt.FaultRate)
+	}
+	if opt.FaultRate > 0 {
+		if opt.Faults > 0 {
+			return fmt.Errorf("ndmesh: FaultRate and Faults are mutually exclusive overlays — pick the stochastic process or the fixed count")
+		}
+		if opt.FaultModel == "" {
+			opt.FaultModel = fault.DelayBernoulli
+		}
+		if opt.FaultModel != fault.DelayBernoulli && opt.FaultModel != fault.DelayWeibull {
+			return fmt.Errorf("ndmesh: unknown fault model %q (want %s|%s)", opt.FaultModel, fault.DelayBernoulli, fault.DelayWeibull)
+		}
+		if opt.FaultModel == fault.DelayWeibull && opt.FaultShape == 0 {
+			opt.FaultShape = 1.5
+		}
+		if opt.FaultRepair < 0 {
+			return fmt.Errorf("ndmesh: FaultRepair %v must be >= 0", opt.FaultRepair)
+		}
+		if opt.FaultRepair > 0 && opt.FaultRepair < 1 {
+			return fmt.Errorf("ndmesh: FaultRepair %v is a mean delay in steps (>= 1)", opt.FaultRepair)
+		}
+	}
 	return nil
 }
 
@@ -331,16 +377,47 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 		// Re-recording a replay must carry the schedule over, or the copy
 		// would replay fault-free and break the byte-identity contract.
 		recFaults = wl.replay.Faults
-	case opt.Faults > 0:
-		interval := opt.FaultInterval
-		if interval < 1 {
-			interval = 1
+	case opt.FaultRate > 0 || opt.Faults > 0:
+		// The overlay draws from a stream split off the cell's, so the
+		// traffic draws below are byte-identical across fault settings (and
+		// the schedule is identical across patterns/rates at a fixed seed).
+		// Fault-free cells skip the split, keeping their goldens unchanged.
+		fr := r.Split()
+		total := opt.Warmup + opt.Measure + opt.Drain
+		var sched *fault.Schedule
+		var err error
+		if opt.FaultRate > 0 {
+			popt := fault.ProcessOptions{
+				Arrival:   fault.Delay{Model: opt.FaultModel, Rate: opt.FaultRate, Shape: opt.FaultShape},
+				Start:     opt.FaultStart,
+				Horizon:   total - 1,
+				Clustered: opt.Clustered,
+			}
+			if opt.FaultRepair > 0 {
+				popt.Repair = fault.Delay{Model: fault.DelayBernoulli, Rate: 1 / opt.FaultRepair}
+			}
+			sched, err = fault.GenerateProcess(shape, popt, fr)
+		} else {
+			// Fixed count: default the interval so the schedule spans the
+			// whole run (not, as the old hard-coded Start: 2 did, completing
+			// before the warmup ends), and start one interval in.
+			interval := opt.FaultInterval
+			if interval < 1 {
+				interval = total / (opt.Faults + 1)
+				if interval < 1 {
+					interval = 1
+				}
+			}
+			start := opt.FaultStart
+			if start < 1 {
+				start = interval
+			}
+			sched, err = fault.Generate(shape, opt.Faults, fault.Options{
+				Interval:  interval,
+				Start:     start,
+				Clustered: opt.Clustered,
+			}, fr)
 		}
-		sched, err := fault.Generate(shape, opt.Faults, fault.Options{
-			Interval:  interval,
-			Start:     2,
-			Clustered: opt.Clustered,
-		}, r)
 		if err != nil {
 			return traffic.LoadPoint{}, err
 		}
@@ -358,12 +435,19 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 
 	// Build the injection source for the selected workload mode. cl is
 	// non-nil only for a live closed loop: its outstanding windows are
-	// released from the harvest callback below.
+	// released from the harvest callback below. rq is non-nil only for a
+	// live open loop with flight timeouts: it re-offers timed-out requests
+	// under the same backoff discipline (ROADMAP item 3's last leftover —
+	// without it, open-loop escape runs silently under-delivered their
+	// offered load).
 	var src traffic.Injector
 	var cl *traffic.ClosedLoop
+	var rq *traffic.RetrySource
 	rate := wl.rate
 	switch {
 	case wl.replay != nil:
+		// No retry machinery on replay: the recorded stream already carries
+		// the origin run's retried offers.
 		src = traffic.NewTracePlayer(wl.replay)
 		rate = wl.replay.Rate
 	case wl.window > 0:
@@ -383,6 +467,10 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 			return traffic.LoadPoint{}, err
 		}
 		src = traffic.NewGenerator(shape, pat, proc, wl.rate, r)
+		if opt.FlightTimeout > 0 {
+			rq = traffic.NewRetrySource(src, shape.NumNodes(), opt.RetryBackoff, r)
+			src = rq
+		}
 	}
 	if wl.record != nil {
 		wl.record.Dims = shape.Radices()
@@ -491,6 +579,18 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 				// shut.
 				cl.Release(fl.Msg.Src)
 			}
+		} else if rq != nil {
+			if oc == traffic.TimedOut {
+				// The open loop re-offers the killed request (same src, same
+				// dst — there is no window slot to redraw from) after its
+				// backoff; the retried offer is emitted through src.Step, so
+				// a recording trace captures it like any other.
+				rq.Timeout(fl.Msg.Src, fl.Msg.Dst, ph.Measured(fl.StartStep))
+				col.Retry(fl.StartStep)
+				eng.NoteRetried()
+			} else {
+				rq.Settle(fl.Msg.Src)
+			}
 		}
 		col.Finish(fl.StartStep, fl.Msg.Steps, oc)
 		if latObs != nil && oc == traffic.Delivered && ph.Measured(fl.StartStep) {
@@ -542,6 +642,19 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 	pt.Gridlocked = eng.Gridlocked()
 	pt.GridlockStep = eng.GridlockStep()
 	pt.RecoverySteps = eng.GridlockRecovery()
+	if rq != nil {
+		pt.RetryDropped = rq.PendingMeasured()
+	}
+	// Count the fault/recovery events the run actually applied (whole-run
+	// totals; a replay reproduces the origin's schedule and so these too).
+	for _, rec := range eng.Events {
+		switch rec.Kind {
+		case fault.Fail:
+			pt.Failed++
+		case fault.Recover:
+			pt.Recovered++
+		}
+	}
 	return pt, nil
 }
 
@@ -567,6 +680,13 @@ type LoadOptions struct {
 	GridlockWindow              int
 	Faults, FaultInterval       int
 	Clustered                   bool
+	// FaultStart/FaultRate/FaultModel/FaultShape/FaultRepair configure the
+	// fault overlay; see the SaturationOptions fields of the same names.
+	FaultStart  int
+	FaultRate   float64
+	FaultModel  string
+	FaultShape  float64
+	FaultRepair float64
 	// Shards is the intra-step shard-worker count (< 2 means serial); the
 	// point is byte-identical for every value.
 	Shards int
@@ -613,7 +733,10 @@ func (opt *LoadOptions) applyReplay() {
 	opt.Rate = tr.Rate
 	opt.Window = tr.Window
 	opt.Warmup, opt.Measure, opt.Drain = tr.Warmup, tr.Measure, tr.Drain
+	// The trace is the fault authority: a live overlay (either kind) on top
+	// of it would double-fault the replay.
 	opt.Faults = 0
+	opt.FaultRate = 0
 	if opt.Lambda == 0 {
 		opt.Lambda = tr.Lambda
 	}
@@ -662,9 +785,11 @@ func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
 		FlightTimeout: opt.FlightTimeout, RetryBackoff: opt.RetryBackoff,
 		Bubble: opt.Bubble, GridlockWindow: opt.GridlockWindow,
 		Faults: opt.Faults, FaultInterval: opt.FaultInterval,
-		Clustered: opt.Clustered,
-		Shards:    opt.Shards,
-		Probe:     opt.Probe, ProbeEvery: opt.ProbeEvery,
+		Clustered: opt.Clustered, FaultStart: opt.FaultStart,
+		FaultRate: opt.FaultRate, FaultModel: opt.FaultModel,
+		FaultShape: opt.FaultShape, FaultRepair: opt.FaultRepair,
+		Shards: opt.Shards,
+		Probe:  opt.Probe, ProbeEvery: opt.ProbeEvery,
 	}
 	if opt.Window > 0 || opt.Replay != nil {
 		// Closed-loop and replay runs have no live arrival process to
