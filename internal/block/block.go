@@ -42,11 +42,11 @@ type Result struct {
 // the execution engine can interleave it with identification and boundary
 // rounds (λ rounds per step, Figure 7).
 type Stepper struct {
-	m *mesh.Mesh
+	m *mesh.Mesh //meshvet:keep fabric dependency, not per-trial state
 	// candidate tracking with generation stamps: cand holds the nodes to
 	// evaluate next round; inCand[id] == gen marks membership.
 	cand   []grid.NodeID
-	inCand []uint32
+	inCand []uint32 //meshvet:keep generation stamps; Reset's gen++ invalidates them
 	gen    uint32
 	// clean nodes need re-evaluation every round until they resolve
 	// (their clean age drives rule 4).
@@ -58,8 +58,8 @@ type Stepper struct {
 	affected map[grid.NodeID]struct{}
 	// eval and agedCleans are Round's reusable work lists (candidates plus
 	// clean nodes, and clean nodes whose age must advance).
-	eval       []grid.NodeID
-	agedCleans []grid.NodeID
+	eval       []grid.NodeID //meshvet:keep scratch, re-sliced at each Round
+	agedCleans []grid.NodeID //meshvet:keep scratch, re-sliced at each Round
 }
 
 // NewStepper builds a stepper over m. The mesh's current statuses are taken
@@ -128,6 +128,7 @@ func (st *Stepper) Round() int {
 	m := st.m
 	// Evaluate: candidates plus all clean nodes (whose age must advance).
 	eval := append(st.eval[:0], st.cand...)
+	//meshvet:ordered synchronous round: evaluations read only pre-round statuses and commits are per-node, so order cannot reach results
 	for id := range st.cleanSet {
 		if st.inCand[id] != st.gen {
 			eval = append(eval, id)

@@ -274,8 +274,8 @@ func (c *Construction) extendRegion(b grid.Box) {
 
 // Protocol runs all in-flight boundary constructions, one hop per round.
 type Protocol struct {
-	m     *mesh.Mesh
-	store *info.Store
+	m     *mesh.Mesh  //meshvet:keep dependency, not per-trial state
+	store *info.Store //meshvet:keep dependency, not per-trial state
 	cons  []*Construction
 	// spare is the free list of retired constructions; Start reuses them so
 	// a fault process cycling blocks through the protocol allocates nothing
@@ -283,8 +283,8 @@ type Protocol struct {
 	spare []*Construction
 	// scratch/scratchNb are reusable coordinate buffers for roundOne (the
 	// visited node and its neighbor under inspection).
-	scratch   grid.Coord
-	scratchNb grid.Coord
+	scratch   grid.Coord //meshvet:keep scratch buffer, overwritten before every use
+	scratchNb grid.Coord //meshvet:keep scratch buffer, overwritten before every use
 	// Hops counts total node visits across constructions (message cost).
 	Hops int
 }

@@ -59,8 +59,8 @@ type Model struct {
 	// watchKeys is the reusable sort buffer of watchCorners and scratch the
 	// coordinate buffer of cornersConsistent; with them, a quiescent round
 	// over standing watches allocates nothing.
-	watchKeys []string
-	scratch   grid.Coord
+	watchKeys []string   //meshvet:keep sort scratch, re-sliced per use
+	scratch   grid.Coord //meshvet:keep scratch buffer, overwritten before every use
 
 	// keyBuf, keyIntern, seedBuf and spareWatches make the identification
 	// path allocation-free once warm: watch keys are formatted into keyBuf
@@ -68,13 +68,13 @@ type Model struct {
 	// of distinct boxes the mesh can hold), flood seeds are staged in
 	// seedBuf (boundary.Start copies them), and retired watch objects are
 	// recycled through spareWatches with their box and corner storage.
-	keyBuf       []byte
-	keyIntern    map[string]string
-	seedBuf      []grid.NodeID
+	keyBuf       []byte            //meshvet:keep format scratch, overwritten per key
+	keyIntern    map[string]string //meshvet:keep intern table, bounded by distinct boxes; survives Reset by design
+	seedBuf      []grid.NodeID     //meshvet:keep staging buffer, copied out by boundary.Start
 	spareWatches []*watched
 
 	// Debug, when non-nil, receives internal decision traces (tests only).
-	Debug func(format string, args ...any)
+	Debug func(format string, args ...any) //meshvet:keep test hook, not trial state
 
 	// Last activity rounds, for convergence accounting (a_i, b_i, c_i).
 	LastLabelRound, LastFrameRound, LastIdentRound, LastBoundaryRound int
@@ -119,6 +119,7 @@ func (md *Model) Reset() {
 	md.Store.Clear()
 	md.epoch = 0
 	md.round = 0
+	//meshvet:ordered pool refill: recycled watches are fully reinitialized on reuse, so free-list order is invisible
 	for _, w := range md.watches {
 		md.spareWatches = append(md.spareWatches, w)
 	}
@@ -282,6 +283,7 @@ func (md *Model) watchCorners() int {
 		return 0
 	}
 	keys := md.watchKeys[:0]
+	//meshvet:ordered keys are sorted before any use below
 	for key := range md.watches {
 		keys = append(keys, key)
 	}

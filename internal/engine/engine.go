@@ -186,10 +186,10 @@ var _ route.LoadView = (*Engine)(nil)
 
 // Engine drives one simulation.
 type Engine struct {
-	Model  *core.Model
-	Lambda int
+	Model  *core.Model //meshvet:keep configuration; Model.Reset is the caller's move (see Simulation.Reset)
+	Lambda int         //meshvet:keep configuration, survives trials
 
-	Schedule *fault.Schedule
+	Schedule *fault.Schedule //meshvet:keep configuration; evIdx rewinds instead
 	evIdx    int
 
 	step    int
@@ -210,15 +210,15 @@ type Engine struct {
 	// oracle computes EMaxAfter in finalizeLastEvent with reusable buffers
 	// (a fault process applies events all run long; the centralized Extract
 	// would allocate per event).
-	oracle block.Oracle
+	oracle block.Oracle //meshvet:keep reusable compute buffers, overwritten per event
 
 	ctn    contention
-	shards shardSet
+	shards shardSet //meshvet:keep worker-pool configuration, reconfigured via SetShards
 
 	// probe, when non-nil, receives the per-step census assembled in the
 	// serial commit (see probe.go); census is the accumulator between
 	// flushes. Observation is read-only: no decision consults either.
-	probe  Probe
+	probe  Probe //meshvet:keep observer registration survives trials (SetProbe detaches)
 	census StepCensus
 }
 
@@ -373,6 +373,8 @@ func (e *Engine) resetContention() {
 // space. Flights are polled in injection order (the order e.flights
 // preserves), so each directed link behaves as an age-ordered FIFO: the
 // oldest waiting flight wins the next grant — deterministically.
+//
+//meshvet:noalloc
 func (e *Engine) gate(from grid.NodeID, dir grid.Dir) bool {
 	c := &e.ctn
 	li := int32(from)*c.numDirs + int32(dir)
@@ -394,6 +396,8 @@ func (e *Engine) gate(from grid.NodeID, dir grid.Dir) bool {
 
 // deny records one stalled traversal on the directed link for next step's
 // LinkPending view and returns false (the gate's denial value).
+//
+//meshvet:noalloc
 func (c *contention) deny(li int32) bool {
 	if c.pending[li] == 0 {
 		c.pendingDty = append(c.pendingDty, li)
@@ -437,6 +441,8 @@ func (e *Engine) ClearFlights() {
 // the active list stays proportional to the in-flight population and
 // delivered flights release their router buffer slot; the detached Flight
 // must not be retained after fn returns.
+//
+//meshvet:noalloc
 func (e *Engine) DetachDone(fn func(*Flight)) {
 	kept := e.flights[:0]
 	for _, f := range e.flights {
@@ -516,6 +522,8 @@ func (e *Engine) Inject(src, dst grid.NodeID, r route.Router) (*Flight, error) {
 func (e *Engine) Flights() []*Flight { return e.flights }
 
 // Step executes one step of Figure 7's model.
+//
+//meshvet:noalloc
 func (e *Engine) Step() {
 	// 1. Fault detection: apply the events scheduled for this step. The
 	// change is observed by neighbors during the following rounds.
@@ -653,6 +661,7 @@ func (e *Engine) Step() {
 	e.step++
 }
 
+//meshvet:noalloc
 func (e *Engine) applyEvent(ev fault.Event) {
 	e.finalizeLastEvent()
 	var rec *EventRecord
@@ -660,6 +669,7 @@ func (e *Engine) applyEvent(ev fault.Event) {
 		rec = e.spareEvents[n-1]
 		e.spareEvents = e.spareEvents[:n-1]
 	} else {
+		//meshvet:allow free-list miss: first trial warms the pool; steady state reuses
 		rec = &EventRecord{}
 	}
 	*rec = EventRecord{

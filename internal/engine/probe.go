@@ -76,6 +76,8 @@ func (e *Engine) SetProbe(p Probe) {
 // terminal as far as routing is concerned), so the load run's harvest pass
 // reports them here, between Step and FlushCensus, and the retry lands in
 // the same step's census as the timeout that caused it.
+//
+//meshvet:noalloc
 func (e *Engine) NoteRetried() {
 	if e.probe != nil {
 		e.census.Retried++
@@ -87,6 +89,8 @@ func (e *Engine) NoteRetried() {
 // after the harvest pass (or every N steps under decimation — the counters
 // aggregate, the gauges and the link-stall view are the last step's); a
 // flush with no probe attached or no steps covered is a no-op.
+//
+//meshvet:noalloc
 func (e *Engine) FlushCensus() {
 	if e.probe == nil || e.census.Steps == 0 {
 		return
@@ -103,6 +107,8 @@ func (e *Engine) FlushCensus() {
 }
 
 // observeTerminal classifies one terminal transition into the census.
+//
+//meshvet:noalloc
 func (cs *StepCensus) observeTerminal(arrived, unreachable, lost, timedOut bool) {
 	switch {
 	case arrived:

@@ -108,6 +108,8 @@ func (e *Engine) stopShardWorkers() {
 // the serial commit may consume them. The channel handshakes establish
 // the happens-before edges that make the flight list and the proposal
 // fields race-free.
+//
+//meshvet:noalloc
 func (e *Engine) propose() {
 	s := &e.shards
 	for _, ch := range s.start {
@@ -124,6 +126,8 @@ func (e *Engine) propose() {
 // (and the defensive already-at-destination case, which the serial loop
 // terminates before deciding) are left without a proposal, so the commit
 // falls back to deciding them serially — identical either way.
+//
+//meshvet:noalloc
 func (e *Engine) proposeShard(i int) {
 	lo, hi := e.shards.lo[i], e.shards.hi[i]
 	for _, f := range e.flights {

@@ -96,9 +96,12 @@ func TestShardedStepAllocFree(t *testing.T) {
 	defer e.SetShards(1)
 	srcs := []grid.Coord{{1, 1}, {14, 1}, {1, 14}, {14, 14}, {7, 2}, {2, 7}}
 	dsts := []grid.Coord{{14, 14}, {1, 14}, {14, 1}, {1, 1}, {7, 13}, {13, 7}}
+	// Mixed router fleet so the sharded alloc assertion covers the Blind
+	// decide path too (Limited and Congested have dedicated assertions).
+	routers := []route.Router{route.Limited{}, route.Blind{}, route.Limited{}, route.Blind{}, route.Limited{}, route.Blind{}}
 	inject := func() {
 		for i := range srcs {
-			if _, err := e.Inject(shape.Index(srcs[i]), shape.Index(dsts[i]), route.Limited{}); err != nil {
+			if _, err := e.Inject(shape.Index(srcs[i]), shape.Index(dsts[i]), routers[i]); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -180,13 +180,13 @@ type Announcement struct {
 // Algorithm 2 requires. The detector is reactive: only nodes near status
 // changes are re-evaluated.
 type Detector struct {
-	m *mesh.Mesh
+	m *mesh.Mesh //meshvet:keep fabric dependency, not per-trial state
 	// ann[id] holds the node's current announcements, sorted by
 	// (Level, Dirs) with no duplicates.
 	ann [][]Announcement
 	// candidate tracking, as in block.Stepper.
 	cand   []grid.NodeID
-	inCand []uint32
+	inCand []uint32 //meshvet:keep generation stamps; Reset's gen++ invalidates them
 	gen    uint32
 	// changed lists the nodes whose announcements changed in the last
 	// Round; consumers (identification initiation) read it after each
@@ -197,9 +197,9 @@ type Detector struct {
 	// and pendingOff delimiting each node's range. The arena is reused
 	// every round, so a round allocates only when announcements outgrow
 	// all previous rounds' capacity.
-	pending    []Announcement
-	pendingIDs []grid.NodeID
-	pendingOff []int
+	pending    []Announcement //meshvet:keep commit arena, re-sliced at each Round
+	pendingIDs []grid.NodeID  //meshvet:keep commit arena, re-sliced at each Round
+	pendingOff []int          //meshvet:keep commit arena, re-sliced at each Round
 }
 
 // NewDetector builds a detector over m with empty announcements.

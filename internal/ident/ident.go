@@ -40,22 +40,22 @@ import (
 
 // Protocol drives all in-flight identification runs.
 type Protocol struct {
-	m     *mesh.Mesh
-	det   *frame.Detector
-	store *info.Store
+	m     *mesh.Mesh      //meshvet:keep dependency, not per-trial state
+	det   *frame.Detector //meshvet:keep dependency, not per-trial state
+	store *info.Store     //meshvet:keep dependency, not per-trial state
 
 	// OnIdentified is invoked when a run completes with the identified
 	// block box and the opposite corner at which the information formed.
-	OnIdentified func(box grid.Box, oppositeCorner grid.NodeID)
+	OnIdentified func(box grid.Box, oppositeCorner grid.NodeID) //meshvet:keep orchestrator wiring, not trial state
 
 	// TTL is the round budget of a run before it is discarded.
-	TTL int
+	TTL int //meshvet:keep tuning knob, survives trials
 	// Backoff is the delay before a corner may re-initiate.
-	Backoff int
+	Backoff int //meshvet:keep tuning knob, survives trials
 	// MaxRetries bounds re-initiations per corner between Notify events,
 	// guaranteeing quiescence even around permanently unidentifiable
 	// configurations (e.g. interfering blocks closer than two hops).
-	MaxRetries int
+	MaxRetries int //meshvet:keep tuning knob, survives trials
 
 	retryCount map[grid.NodeID]int
 
@@ -78,7 +78,7 @@ type Protocol struct {
 	// drained buffer of the previous round, recycled to avoid a per-round
 	// allocation (initiate swaps the two).
 	pending      []grid.NodeID
-	pendingSpare []grid.NodeID
+	pendingSpare []grid.NodeID //meshvet:keep recycled buffer; initiate swaps it with pending
 	inPending    map[grid.NodeID]struct{}
 	// retryQueue holds scheduled re-initiations of corners whose runs
 	// failed or were discarded.
@@ -89,7 +89,7 @@ type Protocol struct {
 	// scratchA/scratchB are reusable coordinate buffers for initiate, and
 	// scratchC for launch/advanceRing, so no round performs a coordinate
 	// allocation.
-	scratchA, scratchB, scratchC grid.Coord
+	scratchA, scratchB, scratchC grid.Coord //meshvet:keep scratch buffers, overwritten before every use
 
 	// Hops counts walker moves (identification message cost).
 	Hops int

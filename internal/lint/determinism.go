@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Determinism enforces the repo's byte-identical-results contract in
+// non-test code: all randomness must flow through internal/rng's seeded
+// streams, no behavior may depend on wall-clock time, and map iteration —
+// whose order Go randomizes per run — may only feed results when the
+// iteration is explicitly marked order-insensitive (or sorted) with
+// //meshvet:ordered. time.Now/Since calls that are genuinely off the
+// result path (progress tickers, debug endpoints) carry
+// //meshvet:wallclock with a justification.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid math/rand, wall-clock reads, and unannotated range-over-map " +
+		"in non-test code (annotate with //meshvet:ordered or //meshvet:wallclock)",
+	Run: runDeterminism,
+}
+
+// bannedImports are packages whose mere presence breaks the determinism
+// contract: their generators seed from global state the trial harness
+// cannot replay. internal/rng is the sanctioned source.
+var bannedImports = map[string]string{
+	"math/rand":    "use internal/rng's explicitly seeded streams",
+	"math/rand/v2": "use internal/rng's explicitly seeded streams",
+}
+
+// wallClockFuncs are the time package's nondeterministic reads. Formatting
+// helpers (time.Duration arithmetic, constants) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s is nondeterministic across runs: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				pass.checkWallClock(n)
+			case *ast.RangeStmt:
+				pass.checkMapRange(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWallClock flags time.Now and friends unless the call site carries
+// //meshvet:wallclock.
+func (p *Pass) checkWallClock(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !wallClockFuncs[sel.Sel.Name] {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := p.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "time" {
+		return
+	}
+	if p.Allowed("wallclock", call) {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"time.%s reads the wall clock, which breaks replayable trials; derive timing from step counts, or annotate //meshvet:wallclock with a justification if this is off the result path",
+		sel.Sel.Name)
+}
+
+// checkMapRange flags range statements over map-typed expressions unless
+// annotated //meshvet:ordered.
+func (p *Pass) checkMapRange(rng *ast.RangeStmt) {
+	tv, ok := p.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if p.Allowed("ordered", rng) {
+		return
+	}
+	p.Reportf(rng.Pos(),
+		"map iteration order is randomized per run; sort the keys first (or annotate //meshvet:ordered with why the order cannot reach results)")
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// AllocTestCoverage is the contract between the static and runtime halves
+// of the hot-path allocation story: it maps every runtime alloc-assertion
+// test (Test*AllocFree, using testing.AllocsPerRun) to the
+// //meshvet:noalloc-annotated functions its hot loop exercises. The
+// inventory test asserts this map stays one-for-one with reality in both
+// directions — every directive is runtime-asserted by a named test, and
+// every alloc-assertion test in the repo appears here — so a new
+// annotation without a runtime assertion (or the reverse) fails the
+// build, not a review.
+var AllocTestCoverage = map[string][]string{
+	// The serial contention step: arbitration, gating, the Limited decide
+	// path, commit/traversal, harvest, and the census fold-in. Advance is
+	// a pure delegate to AdvanceGated and is covered through it.
+	"TestContentionStepAllocFree": {
+		"ndmesh/internal/engine.Engine.Step",
+		"ndmesh/internal/engine.Engine.DetachDone",
+		"ndmesh/internal/engine.Engine.gate",
+		"ndmesh/internal/engine.contention.deny",
+		"ndmesh/internal/engine.StepCensus.observeTerminal",
+		"ndmesh/internal/route.Advance",
+		"ndmesh/internal/route.AdvanceGated",
+		"ndmesh/internal/route.commitDecision",
+		"ndmesh/internal/route.Message.applyMove",
+		"ndmesh/internal/route.Message.applyBacktrack",
+		"ndmesh/internal/route.Limited.Decide",
+		"ndmesh/internal/route.classifyLimited",
+	},
+	// The load-adaptive decide path.
+	"TestCongestedStepAllocFree": {
+		"ndmesh/internal/route.Congested.Decide",
+	},
+	// The sharded step's parallel propose phase, the pre-decided commit,
+	// and the Blind decide path (its router fleet mixes Limited and Blind).
+	"TestShardedStepAllocFree": {
+		"ndmesh/internal/engine.Engine.propose",
+		"ndmesh/internal/engine.Engine.proposeShard",
+		"ndmesh/internal/route.AdvanceDecided",
+		"ndmesh/internal/route.Blind.Decide",
+	},
+	// Flight timeouts ride on DOR head-on collisions.
+	"TestTimeoutStepAllocFree": {
+		"ndmesh/internal/route.DOR.Decide",
+	},
+	// A full fault/recovery schedule applied through reused trials.
+	"TestFaultProcessStepAllocFree": {
+		"ndmesh/internal/engine.Engine.applyEvent",
+	},
+	// The closed-loop emit/release cycle.
+	"TestClosedLoopStepAllocFree": {
+		"ndmesh/internal/traffic.ClosedLoop.Step",
+		"ndmesh/internal/traffic.ClosedLoop.Release",
+	},
+	// The timeout-retry escape cycle and its census note.
+	"TestEscapeClosedLoopStepAllocFree": {
+		"ndmesh/internal/traffic.ClosedLoop.Timeout",
+		"ndmesh/internal/engine.Engine.NoteRetried",
+	},
+	// The probe fan-out: census flush plus every observer's fold.
+	"TestProbedStepAllocFree": {
+		"ndmesh/internal/engine.Engine.FlushCensus",
+		"ndmesh/internal/probe.Set.ObserveStep",
+		"ndmesh/internal/probe.Set.ObserveLatency",
+		"ndmesh/internal/probe.TimeSeries.ObserveStep",
+		"ndmesh/internal/probe.Heatmap.ObserveStep",
+		"ndmesh/internal/probe.LatencyHist.ObserveLatency",
+		"ndmesh/internal/probe.Snapshot.ObserveStep",
+	},
+	// The open-loop emit path.
+	"TestGeneratorStepAllocFree": {
+		"ndmesh/internal/traffic.Generator.Step",
+	},
+	// The latency histogram's hot Add.
+	"TestLogHistAddAllocFree": {
+		"ndmesh/internal/stats.LogHistogram.Add",
+	},
+}
+
+// NoAllocDirectives scans the module rooted at dir and returns the sorted
+// fully-qualified names ("pkgpath.Recv.Func" or "pkgpath.Func") of every
+// function annotated //meshvet:noalloc in non-test code.
+func NoAllocDirectives(dir string) ([]string, error) {
+	cmd := exec.Command("go", "list", "-json=Dir,ImportPath,GoFiles", "./...")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var names []string
+	fset := token.NewFileSet()
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p struct {
+			Dir        string
+			ImportPath string
+			GoFiles    []string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !FuncDirective(fn, "noalloc") {
+					continue
+				}
+				qual := p.ImportPath + "."
+				if recv := recvTypeString(fn); recv != "" {
+					qual += recv + "."
+				}
+				names = append(names, qual+fn.Name.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// recvTypeString returns the receiver's base type name from the AST, or
+// "" for a plain function.
+func recvTypeString(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package lint is meshvet: a suite of static analyzers that enforce, at
+// `go vet` time, the three contracts the repo's results rest on — the
+// determinism contract (byte-identical results at every worker/shard
+// count), the 0 allocs/op hot-path contract, and the Reset-based pooling
+// contract — plus the probe layer's "observation is off the decision
+// path" rule. The runtime tests (alloc assertions, determinism matrices,
+// reset-equivalence) catch violations late and only on exercised paths;
+// these analyzers catch the obvious violation classes on every path at
+// compile time.
+//
+// The four analyzers (see their files for the precise rules):
+//
+//   - determinism: forbids math/rand, wall-clock reads and unannotated
+//     range-over-map in non-test code.
+//   - resetcomplete: a struct with a Reset method must account for every
+//     field in its Reset body (directly or through same-receiver helper
+//     methods) — the static form of the reset-equivalence tests.
+//   - noalloc: functions annotated //meshvet:noalloc must not contain
+//     obviously-allocating constructs.
+//   - probereadonly: the probe layer and every engine.Probe
+//     implementation may only call the engine's read-only methods.
+//
+// Escape hatches are explicit annotations, one per rule, each carrying a
+// justification in the rest of the comment line (docs/LINTING.md is the
+// directive reference):
+//
+//	//meshvet:ordered    — this map range is sorted or order-insensitive
+//	//meshvet:wallclock  — this time.Now/Since is off the result path
+//	//meshvet:keep       — this field deliberately survives Reset
+//	//meshvet:noalloc    — this function joins the hot-path contract
+//	//meshvet:allow      — suppress any finding on the next line
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer/Pass/Diagnostic) but is built
+// on the standard library only, so the module keeps its zero-dependency
+// property; cmd/meshvet runs the suite standalone or as a `go vet
+// -vettool`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring the x/tools go/analysis shape.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is the one-paragraph description the CLI prints.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report receives each finding.
+	Report func(Diagnostic)
+
+	directives map[string]map[int][]Directive // filename -> line -> directives
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive is one //meshvet:<verb> comment; Args is the rest of the
+// comment line (the human justification).
+type Directive struct {
+	Verb string
+	Args string
+	Pos  token.Position
+}
+
+// directivePrefix introduces every meshvet annotation.
+const directivePrefix = "//meshvet:"
+
+// ParseDirectives extracts the //meshvet: directives of a file, keyed by
+// line. Exposed for the directive-inventory cross-check test.
+func ParseDirectives(fset *token.FileSet, f *ast.File) map[int][]Directive {
+	out := make(map[int][]Directive)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := text[len(directivePrefix):]
+			verb := rest
+			args := ""
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				verb, args = rest[:i], strings.TrimSpace(rest[i+1:])
+			}
+			pos := fset.Position(c.Pos())
+			out[pos.Line] = append(out[pos.Line], Directive{Verb: verb, Args: args, Pos: pos})
+		}
+	}
+	return out
+}
+
+// directivesFor returns the line-indexed directives of the file holding
+// pos, building the per-file index lazily.
+func (p *Pass) directivesFor(pos token.Pos) map[int][]Directive {
+	filename := p.Fset.Position(pos).Filename
+	if p.directives == nil {
+		p.directives = make(map[string]map[int][]Directive)
+	}
+	if d, ok := p.directives[filename]; ok {
+		return d
+	}
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename == filename {
+			d := ParseDirectives(p.Fset, f)
+			p.directives[filename] = d
+			return d
+		}
+	}
+	p.directives[filename] = nil
+	return nil
+}
+
+// Allowed reports whether node carries the given directive verb: on its
+// own line, or on the line immediately above the node's start (the
+// conventional spot for an annotation comment).
+func (p *Pass) Allowed(verb string, node ast.Node) bool {
+	dirs := p.directivesFor(node.Pos())
+	if len(dirs) == 0 {
+		return false
+	}
+	line := p.Fset.Position(node.Pos()).Line
+	for _, d := range dirs[line] {
+		if d.Verb == verb {
+			return true
+		}
+	}
+	for _, d := range dirs[line-1] {
+		if d.Verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether fn's doc comment carries the directive
+// verb. (A directive on the line above the func keyword is part of the
+// doc comment group, so this covers undocumented functions too.)
+func FuncDirective(fn *ast.FuncDecl, verb string) bool {
+	want := directivePrefix + verb
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// All returns the full meshvet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, ResetComplete, NoAlloc, ProbeReadOnly}
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer — the
+// stable order every front end (CLI, vettool, tests) prints in.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// isTestFile reports whether the file position is in a _test.go file —
+// every analyzer skips those (the contracts bind shipped code; tests
+// allocate and randomize freely).
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

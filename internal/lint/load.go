@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// LoadedPackage is one parsed, type-checked package ready for analysis.
+type LoadedPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader decodes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadPackages type-checks the packages matching patterns (relative to
+// dir), resolving every import — standard library and intra-module alike —
+// from compiler export data via `go list -export -deps`. That keeps the
+// loader dependency-free and network-free: the go command compiles what
+// it must into the build cache and hands back the file paths.
+func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Standard,DepOnly,Export,GoFiles,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exportFiles := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly {
+			tp := p
+			targets = append(targets, &tp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*LoadedPackage
+	for _, tp := range targets {
+		lp, err := typecheckPackage(fset, imp, tp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// ListExports maps the named packages and all their dependencies to
+// compiler export-data files via one `go list -export -deps` run — the
+// import resolution primitive shared with the linttest fixture loader.
+func ListExports(patterns []string) (map[string]string, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	out := map[string]string{}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// typecheckPackage parses one target package's sources and type-checks
+// them against export-data imports.
+func typecheckPackage(fset *token.FileSet, imp types.Importer, tp *listPackage) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range tp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(tp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(tp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", tp.ImportPath, err)
+	}
+	return &LoadedPackage{
+		ImportPath: tp.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// RunAnalyzers applies the analyzers to every loaded package and returns
+// the findings in stable (file, line, column, analyzer) order.
+func RunAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, lp := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      lp.Fset,
+				Files:     lp.Files,
+				Pkg:       lp.Pkg,
+				TypesInfo: lp.Info,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, lp.ImportPath, err)
+			}
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}

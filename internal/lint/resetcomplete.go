@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ResetComplete is the static form of the reset-equivalence tests: every
+// struct with a Reset method participates in the trial-recycling pooling
+// contract, and a field its Reset forgets is exactly the PR-8 class of
+// pooling leak — state from one trial bleeding into the next. The
+// analyzer requires Reset (directly, or through helper methods called on
+// the same receiver) to reference every field of the struct; fields that
+// deliberately survive a Reset (pooled scratch, sizing, shared
+// configuration) carry //meshvet:keep with a justification.
+var ResetComplete = &Analyzer{
+	Name: "resetcomplete",
+	Doc: "a struct's Reset method must reference every field (or the field " +
+		"must carry //meshvet:keep): an untouched field is a pooling leak",
+	Run: runResetComplete,
+}
+
+func runResetComplete(pass *Pass) error {
+	methods := collectMethods(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Reset" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			pass.checkReset(fn, methods)
+		}
+	}
+	return nil
+}
+
+// methodKey addresses a method declaration by its receiver's named type
+// and name.
+type methodKey struct {
+	recv *types.TypeName
+	name string
+}
+
+// collectMethods indexes every method declaration of the package (test
+// files excluded) so checkReset can follow same-receiver helper calls.
+func collectMethods(pass *Pass) map[methodKey]*ast.FuncDecl {
+	out := make(map[methodKey]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if tn := recvTypeName(pass, fn); tn != nil {
+				out[methodKey{tn, fn.Name.Name}] = fn
+			}
+		}
+	}
+	return out
+}
+
+// recvTypeName resolves a method's receiver base type to its *types.TypeName.
+func recvTypeName(pass *Pass, fn *ast.FuncDecl) *types.TypeName {
+	if len(fn.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// checkReset verifies one Reset method accounts for every field of its
+// receiver struct.
+func (p *Pass) checkReset(fn *ast.FuncDecl, methods map[methodKey]*ast.FuncDecl) {
+	tn := recvTypeName(p, fn)
+	if tn == nil {
+		return
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return
+	}
+
+	referenced := make([]bool, st.NumFields())
+	// Walk Reset and, transitively, every same-receiver method it calls:
+	// a Reset that delegates to clear() helpers still accounts for the
+	// fields those helpers touch.
+	visited := map[methodKey]bool{}
+	queue := []*ast.FuncDecl{fn}
+	visited[methodKey{tn, fn.Name.Name}] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		recvObj := recvVar(p, cur)
+		ast.Inspect(cur.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				ident, ok := n.X.(*ast.Ident)
+				if !ok || recvObj == nil || p.TypesInfo.Uses[ident] != recvObj {
+					return true
+				}
+				sel := p.TypesInfo.Selections[n]
+				if sel == nil {
+					return true
+				}
+				idx := sel.Index()
+				switch sel.Kind() {
+				case types.FieldVal:
+					referenced[idx[0]] = true
+				case types.MethodVal:
+					if len(idx) > 1 {
+						// A method reached through an embedded field
+						// references (and presumably resets) that field.
+						referenced[idx[0]] = true
+						return true
+					}
+					m, _ := sel.Obj().(*types.Func)
+					if m == nil {
+						return true
+					}
+					key := methodKey{tn, m.Name()}
+					if next, ok := methods[key]; ok && !visited[key] {
+						visited[key] = true
+						queue = append(queue, next)
+					}
+				}
+			case *ast.AssignStmt:
+				// *r = T{...} (or any wholesale reassignment through the
+				// receiver pointer) rewrites every field.
+				for _, lhs := range n.Lhs {
+					star, ok := lhs.(*ast.StarExpr)
+					if !ok {
+						continue
+					}
+					if ident, ok := star.X.(*ast.Ident); ok && recvObj != nil &&
+						p.TypesInfo.Uses[ident] == recvObj {
+						for i := range referenced {
+							referenced[i] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	fieldDecls := structFieldDecls(p, tn, st)
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if referenced[i] || fld.Name() == "_" {
+			continue
+		}
+		if decl := fieldDecls[i]; decl != nil && p.Allowed("keep", decl) {
+			continue
+		}
+		p.Reportf(fn.Name.Pos(),
+			"Reset leaves %s.%s untouched — a pooling leak unless deliberate; reset it or annotate the field //meshvet:keep with why it survives",
+			tn.Name(), fld.Name())
+	}
+}
+
+// recvVar returns the receiver's object, or nil for an unnamed receiver.
+func recvVar(p *Pass, fn *ast.FuncDecl) types.Object {
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return p.TypesInfo.Defs[names[0]]
+}
+
+// structFieldDecls maps each flattened struct-field index to the AST node
+// carrying its name (for //meshvet:keep lookup). Returns nils when the
+// struct's declaration is not in this package's files (embedded external
+// types cannot be annotated anyway).
+func structFieldDecls(p *Pass, tn *types.TypeName, st *types.Struct) []ast.Node {
+	out := make([]ast.Node, st.NumFields())
+	var astStruct *ast.StructType
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != tn.Name() {
+				return true
+			}
+			if p.TypesInfo.Defs[ts.Name] != tn {
+				return true
+			}
+			if s, ok := ts.Type.(*ast.StructType); ok {
+				astStruct = s
+			}
+			return false
+		})
+		if astStruct != nil {
+			break
+		}
+	}
+	if astStruct == nil {
+		return out
+	}
+	i := 0
+	for _, field := range astStruct.Fields.List {
+		if len(field.Names) == 0 {
+			// Embedded field: one flattened slot.
+			if i < len(out) {
+				out[i] = field
+			}
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if i < len(out) {
+				out[i] = name
+			}
+			i++
+		}
+	}
+	return out
+}

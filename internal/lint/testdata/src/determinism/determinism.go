@@ -1,0 +1,52 @@
+// Package determinism exercises the determinism analyzer: banned rng
+// imports, wall-clock reads, and map iteration, in both violating and
+// sanctioned forms.
+package determinism
+
+import (
+	"math/rand" // want `import of math/rand is nondeterministic across runs`
+	"sort"
+	"time"
+)
+
+// globalSeed is the classic violation: results depend on rng state the
+// trial harness cannot replay.
+func globalSeed() int { return rand.Int() }
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// progressTick is off the result path and says so.
+func progressTick() time.Time {
+	//meshvet:wallclock progress reporting only, never reaches results
+	return time.Now()
+}
+
+// sumCounts folds map values in iteration order — randomized per run.
+func sumCounts(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order is randomized per run`
+		out = append(out, v)
+	}
+	return out
+}
+
+// sortedKeys is the sanctioned pattern: collect, sort, then use.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//meshvet:ordered keys are sorted before any use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// duration arithmetic and constants stay legal: only clock reads are
+// nondeterministic.
+func legalTime(d time.Duration) time.Duration { return d + time.Second }

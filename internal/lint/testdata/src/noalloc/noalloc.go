@@ -1,0 +1,110 @@
+// Package noalloc exercises the noalloc analyzer. boxCensus is the
+// would-have-caught-a-real-bug case: the non-empty-struct-to-interface
+// conversion that PR 8 hunted out of the telemetry hot path by hand —
+// one heap allocation per step, invisible in the source until a profile
+// (or this analyzer) points at it.
+package noalloc
+
+import "fmt"
+
+type census struct{ arrived, dropped int }
+
+type observer interface{ observe(v any) }
+
+//meshvet:noalloc
+func boxCensus(o observer, c census) {
+	o.observe(c) // want `converting non-empty struct noalloc\.census to interface`
+}
+
+// tag is zero-size: converting it to an interface costs nothing.
+type tag struct{}
+
+//meshvet:noalloc
+func boxEmpty(o observer) {
+	o.observe(tag{})
+}
+
+//meshvet:noalloc
+func hotNew() *int {
+	return new(int) // want `new\(T\) allocates`
+}
+
+//meshvet:noalloc
+func hotMake(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+//meshvet:noalloc
+func hotLiterals() {
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	s := []int{1, 2} // want `slice literal allocates`
+	_ = s
+}
+
+// selfAppend is the sanctioned pooled-growth pattern; foreignAppend
+// grows memory it does not own.
+//
+//meshvet:noalloc
+func appends(buf []int, v int) []int {
+	buf = append(buf, v)
+	grown := append(buf[:len(buf):len(buf)], v) // want `append whose result is not assigned back`
+	return grown
+}
+
+//meshvet:noalloc
+func hotFmt(n int) {
+	fmt.Println(n) // want `fmt call allocates`
+}
+
+//meshvet:noalloc
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//meshvet:noalloc
+func hotBytes(s string) []byte {
+	return []byte(s) // want `string<->\[\]byte conversion copies`
+}
+
+//meshvet:noalloc
+func hotClosure() func() int {
+	n := 0
+	return func() int { n++; return n } // want `closure allocates`
+}
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+//meshvet:noalloc
+func hotMethodValue(c *counter) func() {
+	return c.inc // want `bound method value allocates`
+}
+
+// Calling the method directly is fine — no closure is materialized.
+//
+//meshvet:noalloc
+func hotMethodCall(c *counter) {
+	c.inc()
+}
+
+//meshvet:noalloc
+func hotGo(c *counter) {
+	go c.inc() // want `go statement`
+}
+
+// coldMiss shows the sanctioned escape hatch: a pool miss allocates once
+// to warm the free list.
+//
+//meshvet:noalloc
+func coldMiss(pool []*census) *census {
+	if n := len(pool); n > 0 {
+		return pool[n-1]
+	}
+	//meshvet:allow free-list miss, steady state reuses
+	return &census{}
+}
+
+// unannotated functions allocate freely — the contract is opt-in.
+func coldPath() *census { return &census{} }

@@ -1,0 +1,25 @@
+// Package engine is a miniature of ndmesh/internal/engine for the
+// probereadonly fixtures: same type name, same import-path suffix, a mix
+// of mutators and read-only accessors.
+package engine
+
+// Engine is the fixture stand-in for the real engine.
+type Engine struct {
+	step    int
+	flights int
+}
+
+// Step advances the simulation (mutator).
+func (e *Engine) Step() { e.step++; e.flights-- }
+
+// Reset rewinds the engine (mutator).
+func (e *Engine) Reset() { e.step = 0; e.flights = 0 }
+
+// ClearFlights retires the flight population (mutator).
+func (e *Engine) ClearFlights() { e.flights = 0 }
+
+// StepCount returns the current step (read-only).
+func (e *Engine) StepCount() int { return e.step }
+
+// Flights returns the active flight count (read-only).
+func (e *Engine) Flights() int { return e.flights }

@@ -1,0 +1,21 @@
+// Package impl holds a Probe implementation outside the probe package:
+// only its observation methods (the engine.Probe method set) are in
+// probereadonly scope; harness methods may drive the engine.
+package impl
+
+import "probereadonly/engine"
+
+// Meddler observes steps but also reaches for a mutator.
+type Meddler struct{ steps int }
+
+// ObserveStep is in scope: it may read but not steer.
+func (m *Meddler) ObserveStep(e *engine.Engine) {
+	m.steps = e.StepCount()
+	e.ClearFlights() // want `probe scope calls engine mutator ClearFlights`
+}
+
+// Drive is not an observation method: harness code may mutate freely.
+func (m *Meddler) Drive(e *engine.Engine) {
+	e.Step()
+	e.Reset()
+}

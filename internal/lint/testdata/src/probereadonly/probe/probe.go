@@ -1,0 +1,22 @@
+// Package probe puts every function of a "/probe"-suffixed package in
+// probereadonly scope: plain functions, not just observation methods.
+package probe
+
+import "probereadonly/engine"
+
+// Census is a fixture accumulator.
+type Census struct{ Steps, Flights int }
+
+// Fold reads engine state (fine) and then steers it (finding).
+func Fold(e *engine.Engine, c *Census) {
+	c.Steps = e.StepCount()
+	c.Flights += e.Flights()
+	e.Reset() // want `probe scope calls engine mutator Reset`
+}
+
+// Drain drives the engine from inside the probe layer.
+func Drain(e *engine.Engine) {
+	for e.Flights() > 0 {
+		e.Step() // want `probe scope calls engine mutator Step`
+	}
+}

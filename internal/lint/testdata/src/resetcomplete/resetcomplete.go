@@ -1,0 +1,49 @@
+// Package resetcomplete exercises the resetcomplete analyzer. Leaky is
+// the would-have-caught-a-real-bug case: the exact PR-8 shape where a
+// pooled object's Reset forgets an accumulator field and state bleeds
+// from one recycled trial into the next.
+package resetcomplete
+
+// Leaky forgets its drops accumulator on Reset.
+type Leaky struct {
+	events []int
+	drops  int
+	sizing int //meshvet:keep capacity hint, deliberately survives reset
+}
+
+func (l *Leaky) Reset() { // want `Reset leaves Leaky\.drops untouched`
+	l.events = l.events[:0]
+}
+
+// Wholesale rewrites the whole receiver: every field is accounted for.
+type Wholesale struct {
+	a, b int
+	c    []int
+}
+
+func (w *Wholesale) Reset() { *w = Wholesale{} }
+
+// Delegating resets one field through a same-receiver helper — the
+// analyzer follows the call.
+type Delegating struct {
+	ring []int
+	head int
+}
+
+func (d *Delegating) Reset() {
+	d.clearRing()
+	d.head = 0
+}
+
+func (d *Delegating) clearRing() { d.ring = d.ring[:0] }
+
+// Exhaustive touches every field directly.
+type Exhaustive struct {
+	n     int
+	items map[int]bool
+}
+
+func (e *Exhaustive) Reset() {
+	e.n = 0
+	clear(e.items)
+}

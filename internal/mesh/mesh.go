@@ -58,12 +58,12 @@ func (s Status) Bad() bool { return s == Disabled || s == Faulty }
 // Mesh is the fabric: shape plus per-node status, with a precomputed flat
 // neighbor table so hot loops never recompute coordinate arithmetic.
 type Mesh struct {
-	shape *grid.Shape
+	shape *grid.Shape //meshvet:keep topology, immutable after New
 	// status[id] is the current label of node id.
 	status []Status
 	// neighbors[id*2n+dir] is the neighbor of id in direction dir, or
 	// grid.InvalidNode when the hop leaves the mesh.
-	neighbors []grid.NodeID
+	neighbors []grid.NodeID //meshvet:keep topology, immutable after New
 	// cleanAge[id] counts synchronous rounds a node has held Clean status;
 	// rule 4 fires only after neighbors have seen the clean status
 	// (cleanAge >= 1). Maintained by internal/block.

@@ -121,6 +121,7 @@ func ForState[S any](workers, n int, newState func() S, job func(s S, i int) err
 		return nil
 	}
 	lowest := -1
+	//meshvet:ordered min-key reduction is order-insensitive
 	for i := range errs {
 		if lowest < 0 || i < lowest {
 			lowest = i

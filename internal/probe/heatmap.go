@@ -43,6 +43,8 @@ func NewHeatmap(numNodes, numDirs int) *Heatmap {
 // ObserveStep implements engine.Probe. Under decimation the views sample
 // the last covered step, so the integrated fields are decimated sums —
 // means stay comparable because samples counts flushes, not steps.
+//
+//meshvet:noalloc
 func (h *Heatmap) ObserveStep(c engine.StepCensus) {
 	for n, r := range c.Resident {
 		if r == 0 {

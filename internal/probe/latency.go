@@ -28,6 +28,8 @@ func NewLatencyHist() *LatencyHist {
 }
 
 // ObserveLatency implements LatencyObserver.
+//
+//meshvet:noalloc
 func (l *LatencyHist) ObserveLatency(steps int) { l.h.Add(steps) }
 
 // Hist exposes the underlying histogram for queries (Total, Mean,

@@ -52,6 +52,8 @@ func (s *Set) Empty() bool { return len(s.probes) == 0 && len(s.lats) == 0 }
 
 // ObserveStep implements engine.Probe: every registered census recorder
 // sees the same census, in registration order.
+//
+//meshvet:noalloc
 func (s *Set) ObserveStep(c engine.StepCensus) {
 	for _, p := range s.probes {
 		p.ObserveStep(c)
@@ -59,6 +61,8 @@ func (s *Set) ObserveStep(c engine.StepCensus) {
 }
 
 // ObserveLatency implements LatencyObserver by fan-out.
+//
+//meshvet:noalloc
 func (s *Set) ObserveLatency(steps int) {
 	for _, l := range s.lats {
 		l.ObserveLatency(steps)

@@ -36,6 +36,8 @@ type Snapshot struct {
 
 // ObserveStep implements engine.Probe: counters accumulate, gauges take
 // the latest value.
+//
+//meshvet:noalloc
 func (sn *Snapshot) ObserveStep(c engine.StepCensus) {
 	sn.mu.Lock()
 	sn.s.Step = c.Step

@@ -50,6 +50,8 @@ func NewTimeSeries(capacity int) *TimeSeries {
 }
 
 // ObserveStep implements engine.Probe.
+//
+//meshvet:noalloc
 func (t *TimeSeries) ObserveStep(c engine.StepCensus) {
 	i := t.start + t.n
 	if i >= len(t.rows) {

@@ -103,6 +103,8 @@ type Congested struct {
 func (Congested) Name() string { return "congested" }
 
 // Decide implements Router.
+//
+//meshvet:noalloc
 func (c Congested) Decide(ctx *Context, msg *Message) Decision {
 	if ctx.Load == nil || (!c.Cfg.Eager && !msg.Stalled()) {
 		return Limited{}.Decide(ctx, msg)

@@ -250,6 +250,8 @@ type Gate func(from grid.NodeID, dir grid.Dir) bool
 // Advance performs one step of the routing process: one decision and one
 // hop (Figure 7's routing decision + message sending). It returns true if
 // the message is still in flight afterwards.
+//
+//meshvet:noalloc
 func Advance(ctx *Context, r Router, msg *Message) bool {
 	return AdvanceGated(ctx, r, msg, nil)
 }
@@ -261,6 +263,8 @@ func Advance(ctx *Context, r Router, msg *Message) bool {
 // message re-decides next step against fresh status and information — a
 // stalled preferred direction can be abandoned for a spare if the fault
 // picture changes while queued.
+//
+//meshvet:noalloc
 func AdvanceGated(ctx *Context, r Router, msg *Message, gate Gate) bool {
 	if msg.Done() {
 		return false
@@ -280,6 +284,8 @@ func AdvanceGated(ctx *Context, r Router, msg *Message, gate Gate) bool {
 // commit and the terminal transitions are exactly AdvanceGated's, so for
 // a StepStable router AdvanceDecided(ctx, msg, r.Decide(ctx, msg), gate)
 // and AdvanceGated(ctx, r, msg, gate) are byte-identical.
+//
+//meshvet:noalloc
 func AdvanceDecided(ctx *Context, msg *Message, d Decision, gate Gate) bool {
 	if msg.Done() {
 		return false
@@ -298,6 +304,8 @@ func AdvanceDecided(ctx *Context, msg *Message, d Decision, gate Gate) bool {
 // stack, the terminal unreachable transition of applyBacktrack) has
 // nothing to arbitrate and deliberately consults no gate, which
 // TestBacktrackEmptyPathConsultsNoGate pins.
+//
+//meshvet:noalloc
 func commitDecision(ctx *Context, msg *Message, d Decision, gate Gate) bool {
 	switch {
 	case d.Fail:
@@ -358,6 +366,7 @@ func StepStable(r Router) bool {
 	return false
 }
 
+//meshvet:noalloc
 func (msg *Message) applyMove(ctx *Context, dir grid.Dir) {
 	next := ctx.M.Neighbor(msg.Cur, dir)
 	if next == grid.InvalidNode {
@@ -373,6 +382,7 @@ func (msg *Message) applyMove(ctx *Context, dir grid.Dir) {
 	msg.Hops++
 }
 
+//meshvet:noalloc
 func (msg *Message) applyBacktrack(ctx *Context) {
 	if len(msg.path) == 0 {
 		msg.Unreachable = true
@@ -420,6 +430,8 @@ func (Limited) Name() string { return "limited" }
 //     preferred, spare (along the block), preferred-but-detour, incoming.
 //  3. With no unused outgoing direction, backtrack.
 //  4. Backtracked to the source with nothing left: unreachable.
+//
+//meshvet:noalloc
 func (Limited) Decide(ctx *Context, msg *Message) Decision {
 	cl, bad := classifyLimited(ctx, msg)
 	if bad {
@@ -451,6 +463,8 @@ type classified struct {
 // Congested: both routers consider exactly the same fault-safe direction
 // classes; they differ only in how ties inside a class are broken. bad
 // reports that the current node itself is disabled/faulty (backtrack case).
+//
+//meshvet:noalloc
 func classifyLimited(ctx *Context, msg *Message) (cl classified, bad bool) {
 	m := ctx.M
 	u := msg.Cur
@@ -622,6 +636,8 @@ type Blind struct{}
 func (Blind) Name() string { return "blind" }
 
 // Decide implements Router.
+//
+//meshvet:noalloc
 func (Blind) Decide(ctx *Context, msg *Message) Decision {
 	m := ctx.M
 	u := msg.Cur
@@ -752,6 +768,8 @@ type DOR struct{}
 func (DOR) Name() string { return "dor" }
 
 // Decide implements Router.
+//
+//meshvet:noalloc
 func (DOR) Decide(ctx *Context, msg *Message) Decision {
 	m := ctx.M
 	if m.Status(msg.Cur).Bad() {

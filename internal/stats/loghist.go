@@ -61,6 +61,8 @@ func (h *LogHistogram) BucketBounds(i int) (lo, hi int) {
 }
 
 // Add records one observation. Negative values clamp to 0.
+//
+//meshvet:noalloc
 func (h *LogHistogram) Add(v int) {
 	if v < 0 {
 		v = 0

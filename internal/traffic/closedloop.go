@@ -110,6 +110,8 @@ func (c *ClosedLoop) InFlight() int { return c.inFlight }
 // node is down) leaves the slot free and moves on — the node retries with
 // a fresh draw next step, so a closed loop never drops requests, it defers
 // them.
+//
+//meshvet:noalloc
 func (c *ClosedLoop) Step(emit func(src, dst grid.NodeID) bool) {
 	n := c.shape.NumNodes()
 	for node := 0; node < n; node++ {
@@ -135,6 +137,8 @@ func (c *ClosedLoop) Step(emit func(src, dst grid.NodeID) bool) {
 // reusable from the next Step on. A release also ends the node's
 // consecutive-timeout streak: the network is moving traffic out of this
 // node again, so the next timeout backs off from the base delay.
+//
+//meshvet:noalloc
 func (c *ClosedLoop) Release(src grid.NodeID) {
 	if c.outstanding[src] <= 0 {
 		panic("traffic: ClosedLoop.Release without an outstanding request")
@@ -153,6 +157,8 @@ func (c *ClosedLoop) Release(src grid.NodeID) {
 // Every Timeout counts as one retry: the request is back in the node's
 // window and will be re-offered (with a fresh destination draw) when the
 // backoff expires.
+//
+//meshvet:noalloc
 func (c *ClosedLoop) Timeout(src grid.NodeID) {
 	if c.outstanding[src] <= 0 {
 		panic("traffic: ClosedLoop.Timeout without an outstanding request")

@@ -30,6 +30,8 @@ func NewGenerator(shape *grid.Shape, pat Pattern, proc Process, rate float64, r 
 // The emit callback owns admission (inject, drop, count); the generator
 // only offers traffic, and — being open-loop — ignores the admission
 // verdict: a refusal is a drop, never a retry.
+//
+//meshvet:noalloc
 func (g *Generator) Step(emit func(src, dst grid.NodeID) bool) {
 	n := g.shape.NumNodes()
 	for node := 0; node < n; node++ {

@@ -1,0 +1,42 @@
+package traffic
+
+import (
+	"testing"
+
+	"ndmesh/internal/grid"
+	"ndmesh/internal/rng"
+)
+
+// TestGeneratorStepAllocFree pins the open-loop emit path: once the
+// arrival process's per-node state is sized, a generator step performs no
+// allocation — the runtime half of the //meshvet:noalloc directive on
+// Generator.Step (see internal/lint's directive inventory).
+func TestGeneratorStepAllocFree(t *testing.T) {
+	shape, err := grid.NewShape(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		proc Process
+	}{
+		{"bernoulli", &Bernoulli{}},
+		{"bursty", NewBursty(8, 24)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGenerator(shape, NewUniform(shape), tc.proc, 0.3, rng.New(7))
+			sink := 0
+			emit := func(src, dst grid.NodeID) bool { sink += int(src) + int(dst); return true }
+			for i := 0; i < 50; i++ {
+				g.Step(emit)
+			}
+			allocs := testing.AllocsPerRun(200, func() { g.Step(emit) })
+			if allocs != 0 {
+				t.Fatalf("generator step allocates %.1f allocs/op, want 0", allocs)
+			}
+			if sink < 0 {
+				t.Fatal("unreachable; keeps sink live")
+			}
+		})
+	}
+}

@@ -105,7 +105,7 @@ func (*Poisson) Arrivals(_ int, rate float64, r *rng.Source) int {
 // matches the nominal rate until the ON-probability clips at 1.
 type Bursty struct {
 	// MeanOn and MeanOff are the mean burst and gap lengths in steps.
-	MeanOn, MeanOff int
+	MeanOn, MeanOff int //meshvet:keep rate parameters, not trial state
 
 	started []bool
 	on      []bool

@@ -31,18 +31,18 @@ import (
 type Trace struct {
 	// Dims is the mesh shape the workload was recorded on; a trace only
 	// replays on the same shape.
-	Dims []int
+	Dims []int //meshvet:keep recording metadata, the caller's to manage (see Reset doc)
 	// Rate is the nominal open-loop rate (0 for a closed-loop recording);
 	// it feeds the replayed LoadPoint's OfferedRate.
-	Rate float64
+	Rate float64 //meshvet:keep recording metadata, the caller's to manage
 	// Window is the closed-loop window (0 for an open-loop recording).
-	Window int
+	Window int //meshvet:keep recording metadata, the caller's to manage
 	// ClosedLoop marks the origin mode: closed-loop runs do not count
 	// refused offers as drops, and the replay mirrors that.
-	ClosedLoop bool
+	ClosedLoop bool //meshvet:keep recording metadata, the caller's to manage
 	// Warmup, Measure, Drain are the origin run's phase lengths; the
 	// replay must use them so the measurement window matches.
-	Warmup, Measure, Drain int
+	Warmup, Measure, Drain int //meshvet:keep recording metadata, the caller's to manage
 	// Lambda, LinkRate and NodeCapacity record the origin run's
 	// engine-side configuration. Replays inherit them by default (a
 	// capacity mismatch silently changes every admission verdict, which
@@ -52,7 +52,7 @@ type Trace struct {
 	// engine configuration. The congested router's tie-break tuning
 	// (CongestionConfig) is router-side state, not workload, and is not
 	// recorded.
-	Lambda, LinkRate, NodeCapacity int
+	Lambda, LinkRate, NodeCapacity int //meshvet:keep recording metadata, the caller's to manage
 	// FlightTimeout, GridlockWindow and Bubble record the origin run's
 	// deadlock-escape configuration (format v2; v1 traces read as all
 	// zero). Like the fields above they are engine-side state that changes
@@ -60,8 +60,8 @@ type Trace struct {
 	// default. The workload-side retry backoff is NOT recorded: the
 	// recorded offer stream already embeds its effect, and a replay never
 	// re-runs the closed-loop logic.
-	FlightTimeout, GridlockWindow int
-	Bubble                        bool
+	FlightTimeout, GridlockWindow int  //meshvet:keep recording metadata, the caller's to manage
+	Bubble                        bool //meshvet:keep recording metadata, the caller's to manage
 	// Faults is the origin run's fault schedule (empty for fault-free).
 	Faults []fault.Event
 
