@@ -77,6 +77,13 @@ type ClosedLoopOptions struct {
 	// Progress, when non-nil, is called after every completed cell with
 	// (done, total); must be safe for concurrent use.
 	Progress func(done, total int) `json:"-"`
+	// Pool/Emit/Cancel mirror the SaturationOptions fields of the same
+	// names: a shared warm-engine reservoir, the per-completed-cell
+	// streaming hook (called with the cell index from worker goroutines),
+	// and the cooperative cancellation poll (aborts with ErrCanceled).
+	Pool   *EnginePool                        `json:"-"`
+	Emit   func(index int, row ClosedLoopRow) `json:"-"`
+	Cancel func() bool                        `json:"-"`
 }
 
 // DefaultClosedLoop returns the standard E21 configuration: an 8x8 mesh,
@@ -164,6 +171,7 @@ func closedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error
 		FaultShape: opt.FaultShape, FaultRepair: opt.FaultRepair,
 		Shards: opt.Shards,
 		Probe:  opt.Probe, ProbeEvery: opt.ProbeEvery,
+		Cancel: opt.Cancel,
 	}
 	if err := validateLoadShape(&sopt); err != nil {
 		return nil, err
@@ -181,7 +189,12 @@ func closedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error
 	rngs := splitN(seed, jobs)
 	rows := make([]ClosedLoopRow, jobs)
 	progress := progressCounter(opt.Progress, jobs)
-	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
+	co := opt.Pool.checkout()
+	defer co.release()
+	err = par.ForState(opt.Workers, jobs, co.worker, func(p *simPool, j int) error {
+		if opt.Cancel != nil && opt.Cancel() {
+			return ErrCanceled
+		}
 		pi := j / (len(opt.Windows) * len(opt.Routers))
 		wi := j / len(opt.Routers) % len(opt.Windows)
 		ki := j % len(opt.Routers)
@@ -212,6 +225,9 @@ func closedLoopSweep(opt ClosedLoopOptions, seed uint64) ([]ClosedLoopRow, error
 			row.InjectedRate = float64(pt.Injected) / float64(steps)
 		}
 		rows[j] = row
+		if opt.Emit != nil {
+			opt.Emit(j, row)
+		}
 		progress()
 		return nil
 	})

@@ -446,13 +446,7 @@ func main() {
 
 	title := fmt.Sprintf("saturation: %s, process=%s, link-rate=%d, capacity=%d, %s, warmup/measure/drain=%d/%d/%d",
 		*dimsFlag, *process, *linkRate, *capacity, faultDesc, *warmup, *measure, *drain)
-	tab := stats.NewTable(title,
-		"pattern", "router", "offered", "accepted", "delivered", "dropped", "unreach", "lost", "unfin",
-		"lat mean", "p50", "p95", "p99", "max")
-	for _, r := range rows {
-		tab.AddRow(r.Pattern, r.Router, fmt.Sprintf("%.3f", r.OfferedRate), fmt.Sprintf("%.3f", r.AcceptedRate),
-			r.Delivered, r.Dropped, r.Unreachable, r.Lost, r.Unfinished,
-			r.LatMean, r.LatP50, r.LatP95, r.LatP99, r.LatMax)
-	}
-	emitTable(tab)
+	// The column set and formatting live in cliutil so meshd's streamed CSV
+	// is byte-identical to -csv output here (the CI smoke job diffs them).
+	emitTable(cliutil.OpenLoopTable(title, rows))
 }

@@ -1,0 +1,97 @@
+// meshd is the simulation daemon: a long-running HTTP service over the
+// ndmesh experiment library. It keeps a pool of warm, Reset-recycled
+// simulation engines, accepts JSON job specs on POST /v1/jobs (open-loop
+// and closed-loop sweeps, trace replays, reliability grids), streams
+// result rows incrementally as cells complete, and serves repeat
+// submissions from a determinism-keyed result cache without touching an
+// engine. See internal/server for the service-layer contracts.
+//
+// Endpoints:
+//
+//	POST /v1/jobs[?format=csv]  submit a spec, stream rows (NDJSON; CSV
+//	                            for open-loop jobs uses loadgen's exact
+//	                            column format)
+//	GET  /v1/jobs               list job statuses
+//	GET  /v1/jobs/{id}          one job's status
+//	GET  /debug/census          pool / cache / live-probe counters
+//	GET  /healthz               liveness (503 once draining)
+//
+// Examples:
+//
+//	meshd -addr :8080
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"open-loop","dims":[8,8],"rates":[0.1,0.2],"seed":42}'
+//	curl -s 'localhost:8080/v1/jobs?format=csv' -d '{"kind":"open-loop","seed":7}'
+//
+// On SIGINT/SIGTERM meshd stops admitting jobs and drains: in-flight
+// streams run to completion up to -drain-timeout, after which remaining
+// jobs are canceled (their engines still return to the pool clean — the
+// library's cleanup contract holds on the abort path).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ndmesh/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("meshd: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		concurrency  = flag.Int("concurrency", 0, "jobs running engines at once (0 = default 2)")
+		queue        = flag.Int("queue", 0, "admitted jobs waiting for a run slot before 503 (0 = default 8)")
+		cacheEntries = flag.Int("cache-entries", 0, "result-cache body bound (0 = default 256, negative disables)")
+		cacheBytes   = flag.Int("cache-bytes", 0, "result-cache byte bound (0 = default 64 MiB, negative disables)")
+		poolIdle     = flag.Int("pool-idle", 0, "warm simulations retained per mesh shape (0 = default 8)")
+		maxWorkers   = flag.Int("max-workers", 0, "per-job sweep fan-out cap (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxConcurrent: *concurrency,
+		MaxQueue:      *queue,
+		CacheEntries:  *cacheEntries,
+		CacheBytes:    *cacheBytes,
+		PoolIdle:      *poolIdle,
+		MaxWorkers:    *maxWorkers,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sig
+		log.Printf("draining (timeout %v)", *drainTimeout)
+		srv.BeginShutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			// Drain deadline passed: force-cancel the stragglers, then
+			// wait for their handlers to unwind (cancellation is polled,
+			// so this is prompt).
+			log.Printf("drain timeout; canceling in-flight jobs")
+			srv.CancelAll()
+			srv.Wait()
+			_ = httpSrv.Close()
+		}
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	log.Printf("drained cleanly")
+}

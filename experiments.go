@@ -47,9 +47,13 @@ import (
 
 // simPool is the per-worker state of a sweep: one reusable Simulation per
 // (shape, λ) pair. A pool is confined to a single worker goroutine, so no
-// locking is needed; pools never share simulations.
+// locking is needed; pools never share simulations. When shared is
+// non-nil (a sweep run against an EnginePool — see pool.go), checkouts
+// first try the shared reservoir's warm simulations before constructing,
+// and the checkout's release hands every held simulation back.
 type simPool struct {
-	sims map[simKey]*Simulation
+	sims   map[simKey]*Simulation
+	shared *EnginePool
 }
 
 type simKey struct {
@@ -60,16 +64,27 @@ type simKey struct {
 func newSimPool() *simPool { return &simPool{sims: make(map[simKey]*Simulation)} }
 
 // get returns a fault-free simulation of the given shape and λ, resetting
-// and reusing a previously built one when possible.
+// and reusing a previously built one when possible — the worker's own
+// first, then the shared reservoir's, then a fresh construction.
 func (p *simPool) get(dims []int, lambda int) (*Simulation, error) {
 	key := simKey{fmt.Sprint(dims), lambda}
 	if sim, ok := p.sims[key]; ok {
 		sim.Reset()
 		return sim, nil
 	}
+	if p.shared != nil {
+		if sim := p.shared.take(key); sim != nil {
+			sim.Reset()
+			p.sims[key] = sim
+			return sim, nil
+		}
+	}
 	sim, err := NewSimulation(Config{Dims: dims, Lambda: lambda})
 	if err != nil {
 		return nil, err
+	}
+	if p.shared != nil {
+		p.shared.noteBuilt()
 	}
 	p.sims[key] = sim
 	return sim, nil

@@ -1,0 +1,50 @@
+package cliutil
+
+import (
+	"testing"
+
+	"ndmesh"
+	"ndmesh/internal/stats"
+)
+
+// TestCSVLineMatchesTable pins the incremental CSV writer to the batch
+// one: CSVHeader + CSVLine over each row's cells must reproduce
+// stats.Table.CSV byte for byte. This is the contract the meshd CSV
+// stream rests on.
+func TestCSVLineMatchesTable(t *testing.T) {
+	rows := []ndmesh.SaturationRow{
+		{
+			Pattern: "uniform", Router: "limited",
+			OfferedRate: 0.05, AcceptedRate: 0.0498,
+			Delivered: 111, Dropped: 2, Unreachable: 0, Lost: 0, Unfinished: 3,
+			LatMean: 7.25, LatP50: 6, LatP95: 14, LatP99: 19, LatMax: 31,
+		},
+		{
+			Pattern: "transpose", Router: "pcs",
+			OfferedRate: 0.5, AcceptedRate: 0.31,
+			Delivered: 640, Dropped: 77, Unreachable: 1, Lost: 4, Unfinished: 12,
+			LatMean: 24.5, LatP50: 21, LatP95: 60, LatP99: 88, LatMax: 140,
+		},
+	}
+	tab := stats.NewTable("", OpenLoopHeader()...)
+	for _, r := range rows {
+		tab.AddRow(OpenLoopCells(r)...)
+	}
+	want := tab.CSV()
+
+	got := CSVHeader(OpenLoopHeader())
+	for _, r := range rows {
+		got += CSVLine(OpenLoopCells(r))
+	}
+	if got != want {
+		t.Fatalf("incremental CSV differs from Table.CSV:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestOpenLoopTableShape guards the column/cell pairing: every row must
+// have exactly one cell per header column.
+func TestOpenLoopTableShape(t *testing.T) {
+	if h, c := len(OpenLoopHeader()), len(OpenLoopCells(ndmesh.SaturationRow{})); h != c {
+		t.Fatalf("header has %d columns but rows have %d cells", h, c)
+	}
+}

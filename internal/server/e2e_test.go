@@ -1,0 +1,325 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"ndmesh"
+	"ndmesh/internal/cliutil"
+	"ndmesh/internal/traffic"
+)
+
+// submit POSTs a spec and returns the response with its full body read.
+func submit(t testing.TB, ts *httptest.Server, query, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// e2eWidths is the fan-out matrix every workload kind is streamed at:
+// serial, a fixed parallel width, and whatever the host offers. The
+// expected bytes are computed ONCE (serial, unsharded) — the test's
+// teeth are that every width streams those same bytes.
+func e2eWidths() [][2]int {
+	g := runtime.GOMAXPROCS(0)
+	return [][2]int{{1, 1}, {2, 2}, {g, g}}
+}
+
+// TestE2EOpenLoop streams an E19 grid over HTTP at every width and diffs
+// the NDJSON body against the batch sweep's rows, byte for byte.
+func TestE2EOpenLoop(t *testing.T) {
+	base := `{"kind":"open-loop","dims":[4,4],"patterns":["uniform","transpose"],"rates":[0.05,0.2],"warmup":8,"measure":24,"drain":32,"node_capacity":4,"seed":42`
+	spec, err := ParseSpec([]byte(base + `}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := spec.saturationOptions()
+	rows, err := ndmesh.SaturationSweepWorkers(opt, spec.Seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, r := range rows {
+		want.Write(encodeNDJSON(r))
+	}
+
+	for _, wd := range e2eWidths() {
+		t.Run(fmt.Sprintf("workers=%d,shards=%d", wd[0], wd[1]), func(t *testing.T) {
+			// A fresh server per width: the cache would otherwise serve
+			// later widths from the first run and never touch an engine.
+			srv := New(Config{MaxConcurrent: 2})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			body := fmt.Sprintf(`%s,"workers":%d,"shards":%d}`, base, wd[0], wd[1])
+			resp, got := submit(t, ts, "", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, got)
+			}
+			if h := resp.Header.Get("X-Meshd-Cache"); h != "miss" {
+				t.Fatalf("X-Meshd-Cache = %q, want miss", h)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatalf("streamed body differs from batch rows\n got: %s\nwant: %s", got, want.Bytes())
+			}
+			if err := srv.Pool().VerifyClean(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestE2EOpenLoopCSV diffs the daemon's CSV stream against the exact
+// bytes loadgen's -csv table emits for the same sweep — the shared
+// cliutil formatting is what the CI smoke job's whole-file diff rides on.
+func TestE2EOpenLoopCSV(t *testing.T) {
+	body := `{"kind":"open-loop","dims":[4,4],"rates":[0.05,0.2],"warmup":8,"measure":24,"drain":32,"seed":7}`
+	spec, err := ParseSpec([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ndmesh.SaturationSweepWorkers(spec.saturationOptions(), spec.Seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cliutil.OpenLoopTable("", rows).CSV()
+
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, got := submit(t, ts, "?format=csv", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if string(got) != want {
+		t.Fatalf("CSV stream differs from loadgen's table:\n got: %q\nwant: %q", got, want)
+	}
+
+	// CSV is defined for the open-loop table only.
+	resp, _ = submit(t, ts, "?format=csv", `{"kind":"closed-loop"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("closed-loop CSV got status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestE2EClosedLoop covers the E21 workload kind at every width.
+func TestE2EClosedLoop(t *testing.T) {
+	base := `{"kind":"closed-loop","dims":[4,4],"windows":[1,2,4],"warmup":8,"measure":24,"drain":32,"seed":42`
+	spec, err := ParseSpec([]byte(base + `}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ndmesh.ClosedLoopSweepWorkers(spec.closedLoopOptions(), spec.Seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, r := range rows {
+		want.Write(encodeNDJSON(r))
+	}
+	for _, wd := range e2eWidths() {
+		t.Run(fmt.Sprintf("workers=%d,shards=%d", wd[0], wd[1]), func(t *testing.T) {
+			srv := New(Config{MaxConcurrent: 2})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			resp, got := submit(t, ts, "", fmt.Sprintf(`%s,"workers":%d,"shards":%d}`, base, wd[0], wd[1]))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatal("streamed closed-loop body differs from batch rows")
+			}
+			if err := srv.Pool().VerifyClean(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestE2EReliability covers the E23 workload kind: per-cell rows stream
+// as their last Monte-Carlo trial lands, still in index order, still the
+// batch bytes.
+func TestE2EReliability(t *testing.T) {
+	base := `{"kind":"reliability","dims":[4,4],"fault_rates":[0,0.02],"trials":4,"rate":0.1,"warmup":8,"measure":24,"drain":32,"flight_timeout":16,"seed":42`
+	spec, err := ParseSpec([]byte(base + `}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ndmesh.ReliabilitySweepWorkers(spec.reliabilityOptions(), spec.Seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, r := range rows {
+		want.Write(encodeNDJSON(r))
+	}
+	for _, wd := range e2eWidths() {
+		t.Run(fmt.Sprintf("workers=%d,shards=%d", wd[0], wd[1]), func(t *testing.T) {
+			srv := New(Config{MaxConcurrent: 2})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			resp, got := submit(t, ts, "", fmt.Sprintf(`%s,"workers":%d,"shards":%d}`, base, wd[0], wd[1]))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatal("streamed reliability body differs from batch rows")
+			}
+			if err := srv.Pool().VerifyClean(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestE2EReplay records a trace, replays it through the daemon at every
+// shard width, and diffs against the library's replayed LoadPoint.
+func TestE2EReplay(t *testing.T) {
+	trace := recordedTrace(t)
+	tr, err := traffic.UnmarshalTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := ndmesh.LoadRun(ndmesh.LoadOptions{Router: "limited", Replay: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encodeNDJSON(ReplayRow{Router: "limited", Point: pt})
+
+	for _, wd := range e2eWidths() {
+		t.Run(fmt.Sprintf("shards=%d", wd[1]), func(t *testing.T) {
+			srv := New(Config{})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			body, err := json.Marshal(map[string]any{"kind": "replay", "trace": trace, "shards": wd[1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, got := submit(t, ts, "", string(body))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("replayed body differs:\n got: %s\nwant: %s", got, want)
+			}
+			if err := srv.Pool().VerifyClean(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestE2EProbeAndRegistry drives a probed single-cell job, then checks
+// the registry and census endpoints: the job reports done with its rows
+// counted, and /debug/census carries the run's census rollup plus pool
+// and cache counters.
+func TestE2EProbeAndRegistry(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := submit(t, ts, "", `{"kind":"open-loop","dims":[4,4],"rates":[0.2],"warmup":8,"measure":24,"drain":32,"seed":3,"probe":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Meshd-Job")
+	if id == "" {
+		t.Fatal("no X-Meshd-Job header")
+	}
+
+	jr, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(jr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if st.State != StateDone || st.Rows != 1 || st.Cells != 1 || st.Cache != "miss" {
+		t.Fatalf("job status = %+v", st)
+	}
+
+	cr, err := http.Get(ts.URL + "/debug/census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view censusView
+	if err := json.NewDecoder(cr.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	cr.Body.Close()
+	if view.Probe == nil || view.Probe.Job != id {
+		t.Fatalf("census probe = %+v, want job %s", view.Probe, id)
+	}
+	if view.Probe.Census.Injected == 0 || view.Probe.Census.Delivered == 0 {
+		t.Fatalf("probed census saw no traffic: %+v", view.Probe.Census)
+	}
+	if view.Pool.Built == 0 {
+		t.Fatalf("pool stats report no engine built: %+v", view.Pool)
+	}
+
+	lr, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != id {
+		t.Fatalf("job list = %+v", list.Jobs)
+	}
+}
+
+// TestE2EBadRequests pins the submission guardrails.
+func TestE2EBadRequests(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for name, tc := range map[string]struct{ query, body string }{
+		"bad-spec":    {"", `{"kind":"nope"}`},
+		"bad-format":  {"?format=xml", `{"kind":"open-loop"}`},
+		"not-json":    {"", `hello`},
+		"unknown-key": {"", `{"kind":"open-loop","turbo":true}`},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, _ := submit(t, ts, tc.query, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+
+	// Draining server refuses new work.
+	srv.BeginShutdown()
+	resp, _ := submit(t, ts, "", `{"kind":"open-loop"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit got %d, want 503", resp.StatusCode)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz got %d, want 503", hr.StatusCode)
+	}
+}

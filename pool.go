@@ -1,0 +1,213 @@
+package ndmesh
+
+// This file is the engine-pool lifecycle behind the meshd daemon
+// (internal/server): a shared, concurrency-safe reservoir of warm
+// Simulations that sweep workers draw from instead of constructing their
+// own, and return to when the sweep ends. The Reset contract (every layer
+// rewinds without reallocating, pinned by reset_test.go) is what makes the
+// reservoir sound: a returned simulation is indistinguishable from a fresh
+// one after Reset, so which warm simulation a job receives can never reach
+// its results. loadPoint's deferred cleanup (flights detached, contention
+// off, shards released — TestLoadPointLeavesEngineClean) is what makes it
+// safe: simulations come back clean on every exit path, cancellation
+// included, which EnginePool.VerifyClean audits.
+//
+// The pool threads into the sweeps through the Pool field of
+// SaturationOptions / ClosedLoopOptions / ReliabilityOptions / LoadOptions:
+// each sweep checks out per-worker simPools bound to the shared reservoir
+// and releases every drawn simulation back when the fan-out finishes
+// (success, error or cancellation alike).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrCanceled is returned by the sweeps and LoadRun when the caller's
+// Cancel hook reports cancellation mid-run. The aborted run performs the
+// same engine cleanup as a completed one, so pooled simulations come back
+// clean.
+var ErrCanceled = errors.New("ndmesh: run canceled")
+
+// cancelCheckInterval is how many steps a load run advances between polls
+// of its Cancel hook: frequent enough that a wedged multi-thousand-step
+// cell aborts promptly, rare enough to stay invisible on the hot path.
+const cancelCheckInterval = 64
+
+// PoolStats counts an EnginePool's checkout traffic. The daemon's result
+// cache is validated against it: a cache-hit submission must leave
+// Acquired and Built unchanged (no engine was touched).
+type PoolStats struct {
+	// Acquired counts checkouts served by resetting a warm idle
+	// simulation; Built counts checkouts that had to construct one.
+	Acquired uint64 `json:"acquired"`
+	Built    uint64 `json:"built"`
+	// Released counts simulations returned to the idle reservoir;
+	// Dropped the returns discarded because the per-shape idle cap was
+	// already full (the simulation is left to the garbage collector).
+	Released uint64 `json:"released"`
+	Dropped  uint64 `json:"dropped"`
+	// Idle is the current idle-simulation count across all shapes.
+	Idle int `json:"idle"`
+}
+
+// EnginePool is a shared reservoir of warm, Reset-recycled Simulations
+// keyed by (mesh shape, λ). It is safe for concurrent use: many sweeps
+// (the daemon's concurrent jobs) may check simulations out and return
+// them at once. A nil *EnginePool is valid everywhere one is accepted and
+// means "no sharing" — each sweep builds worker-local simulations exactly
+// as before.
+type EnginePool struct {
+	mu      sync.Mutex
+	idle    map[simKey][]*Simulation
+	maxIdle int
+	stats   PoolStats
+}
+
+// NewEnginePool builds an empty reservoir retaining at most maxIdle idle
+// simulations per (shape, λ) key; maxIdle <= 0 retains without bound.
+func NewEnginePool(maxIdle int) *EnginePool {
+	return &EnginePool{idle: make(map[simKey][]*Simulation), maxIdle: maxIdle}
+}
+
+// Stats returns a snapshot of the pool's checkout counters.
+func (p *EnginePool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	n := 0
+	//meshvet:ordered summing idle counts is order-insensitive
+	for _, sims := range p.idle {
+		n += len(sims)
+	}
+	s.Idle = n
+	return s
+}
+
+// take pops an idle simulation for the key, or returns nil when none is
+// warm (the caller constructs one and reports it via noteBuilt).
+func (p *EnginePool) take(key simKey) *Simulation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sims := p.idle[key]
+	if len(sims) == 0 {
+		return nil
+	}
+	sim := sims[len(sims)-1]
+	p.idle[key] = sims[:len(sims)-1]
+	p.stats.Acquired++
+	return sim
+}
+
+// noteBuilt records a checkout that constructed a fresh simulation.
+func (p *EnginePool) noteBuilt() {
+	p.mu.Lock()
+	p.stats.Built++
+	p.mu.Unlock()
+}
+
+// put returns a simulation to the idle reservoir, dropping it when the
+// per-key cap is full.
+func (p *EnginePool) put(key simKey, sim *Simulation) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.maxIdle > 0 && len(p.idle[key]) >= p.maxIdle {
+		p.stats.Dropped++
+		return
+	}
+	p.idle[key] = append(p.idle[key], sim)
+	p.stats.Released++
+}
+
+// VerifyClean audits every idle simulation against the clean-engine
+// contract the sweeps' deferred cleanup guarantees (the residency-census
+// assertions of TestLoadPointLeavesEngineClean): no attached flights, an
+// all-zero residency census, contention disabled and shard workers
+// released. It reports aggregate violation counts, so the result does not
+// depend on map iteration order. The daemon's stress tests call it after
+// mixed-workload runs, mid-stream cancellations and shutdown.
+func (p *EnginePool) VerifyClean() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var flights, residency, contention, sharded, total int
+	//meshvet:ordered aggregate violation counts are order-insensitive
+	for _, sims := range p.idle {
+		for _, sim := range sims {
+			total++
+			eng := sim.eng()
+			flights += len(eng.Flights())
+			for _, r := range eng.ResidencyCensus() {
+				if r != 0 {
+					residency++
+				}
+			}
+			if eng.ContentionEnabled() {
+				contention++
+			}
+			if eng.Shards() != 1 {
+				sharded++
+			}
+		}
+	}
+	if flights == 0 && residency == 0 && contention == 0 && sharded == 0 {
+		return nil
+	}
+	return fmt.Errorf("ndmesh: engine pool dirty across %d idle simulations: %d attached flights, %d nonzero residency counters, %d with contention enabled, %d with shard workers configured",
+		total, flights, residency, contention, sharded)
+}
+
+// checkout opens a sweep-scoped view of the pool: each sweep worker gets
+// its own simPool bound to the shared reservoir, and release returns every
+// drawn simulation when the sweep's fan-out finishes. A nil receiver
+// yields a no-op checkout whose workers build private simulations — the
+// sweeps call this unconditionally, so the pooled and unpooled paths share
+// one code shape.
+func (p *EnginePool) checkout() *poolCheckout {
+	return &poolCheckout{shared: p}
+}
+
+// poolCheckout tracks the worker simPools one sweep created so their
+// simulations can be returned to the shared reservoir afterwards.
+type poolCheckout struct {
+	shared  *EnginePool
+	mu      sync.Mutex
+	workers []*simPool
+}
+
+// worker is the par.ForState state factory: a fresh per-worker simPool,
+// registered for release when the checkout is backed by a shared pool.
+func (c *poolCheckout) worker() *simPool {
+	sp := newSimPool()
+	if c.shared == nil {
+		return sp
+	}
+	sp.shared = c.shared
+	c.mu.Lock()
+	c.workers = append(c.workers, sp)
+	c.mu.Unlock()
+	return sp
+}
+
+// release returns every simulation the checkout's workers hold to the
+// shared reservoir. Called after the sweep's fan-out has fully drained
+// (par.ForState has returned), so no worker is still stepping a
+// simulation it hands back. A no-op without a shared pool.
+func (c *poolCheckout) release() {
+	if c.shared == nil {
+		return
+	}
+	c.mu.Lock()
+	workers := c.workers
+	c.workers = nil
+	c.mu.Unlock()
+	for _, sp := range workers {
+		// Any simulation is equivalent after Reset, so the reservoir's
+		// stacking order cannot reach results.
+		//meshvet:ordered Reset equivalence makes stacking order irrelevant
+		for key, sim := range sp.sims {
+			c.shared.put(key, sim)
+			delete(sp.sims, key)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package ndmesh
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEnginePoolReuseByteIdentical is the pooling half of the determinism
+// contract: a sweep served from warm, Reset-recycled simulations must
+// produce byte-identical rows to the classic worker-local path, and the
+// pool's counters must show the reuse actually happened (second sweep
+// acquires instead of building).
+func TestEnginePoolReuseByteIdentical(t *testing.T) {
+	opt := smallSaturation()
+	plain, err := SaturationSweepWorkers(opt, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewEnginePool(0)
+	opt.Pool = pool
+	first, err := SaturationSweepWorkers(opt, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, first) {
+		t.Fatal("pooled sweep rows differ from unpooled rows")
+	}
+	s := pool.Stats()
+	if s.Built == 0 {
+		t.Fatal("first pooled sweep built no simulations")
+	}
+	if s.Acquired != 0 {
+		t.Fatalf("first pooled sweep acquired %d warm simulations from an empty pool", s.Acquired)
+	}
+	if s.Idle == 0 {
+		t.Fatal("no simulations returned to the reservoir after the sweep")
+	}
+
+	second, err := SaturationSweepWorkers(opt, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, second) {
+		t.Fatal("warm-engine sweep rows differ from unpooled rows")
+	}
+	s2 := pool.Stats()
+	if s2.Acquired == 0 {
+		t.Fatal("second pooled sweep acquired no warm simulations")
+	}
+	if s2.Built != s.Built {
+		t.Fatalf("second pooled sweep built %d fresh simulations, want 0 (all warm)", s2.Built-s.Built)
+	}
+	if err := pool.VerifyClean(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnginePoolLoadRun pins the pool through the single-cell entry point:
+// a pooled LoadRun matches an unpooled one and leaves the engine back in
+// the reservoir, clean.
+func TestEnginePoolLoadRun(t *testing.T) {
+	opt := LoadOptions{
+		Dims: []int{6, 6}, Router: "limited", Pattern: "uniform",
+		Rate: 0.2, Warmup: 16, Measure: 48, Drain: 64,
+		NodeCapacity: 4, Seed: 7,
+	}
+	plain, err := LoadRun(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewEnginePool(0)
+	opt.Pool = pool
+	for i := 0; i < 2; i++ {
+		pt, err := LoadRun(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, pt) {
+			t.Fatalf("pooled LoadRun %d differs from unpooled", i)
+		}
+	}
+	s := pool.Stats()
+	if s.Built != 1 || s.Acquired != 1 {
+		t.Fatalf("stats = %+v, want exactly one build then one warm acquire", s)
+	}
+	if err := pool.VerifyClean(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnginePoolMaxIdleCap pins the retention bound: returns past the
+// per-key cap are dropped, not stacked.
+func TestEnginePoolMaxIdleCap(t *testing.T) {
+	pool := NewEnginePool(1)
+	key := simKey{"[4 4]", 1}
+	a, err := NewSimulation(Config{Dims: []int{4, 4}, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSimulation(Config{Dims: []int{4, 4}, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.put(key, a)
+	pool.put(key, b)
+	s := pool.Stats()
+	if s.Released != 1 || s.Dropped != 1 || s.Idle != 1 {
+		t.Fatalf("stats = %+v, want one release, one drop, one idle", s)
+	}
+	if got := pool.take(key); got != a {
+		t.Fatal("take returned a simulation that was never retained")
+	}
+	if got := pool.take(key); got != nil {
+		t.Fatal("take from a drained key returned a simulation")
+	}
+}
+
+// TestSweepEmitMatchesRows certifies the streaming hook's contract: the
+// rows delivered through Emit, re-sequenced by index, are exactly the
+// slice the batch call returns — for the open-loop, closed-loop and
+// reliability sweeps, at a parallel worker count so completion order and
+// index order genuinely diverge.
+func TestSweepEmitMatchesRows(t *testing.T) {
+	t.Run("saturation", func(t *testing.T) {
+		opt := smallSaturation()
+		var mu sync.Mutex
+		got := make([]SaturationRow, len(opt.Patterns)*len(opt.Rates)*len(opt.Routers))
+		seen := make([]bool, len(got))
+		opt.Emit = func(i int, row SaturationRow) {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[i] {
+				t.Errorf("cell %d emitted twice", i)
+			}
+			seen[i] = true
+			got[i] = row
+		}
+		rows, err := SaturationSweepWorkers(opt, 42, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("cell %d never emitted", i)
+			}
+		}
+		if !reflect.DeepEqual(rows, got) {
+			t.Fatal("emitted rows differ from returned rows")
+		}
+	})
+	t.Run("closedloop", func(t *testing.T) {
+		opt := DefaultClosedLoop()
+		opt.Dims = []int{4, 4}
+		opt.Windows = []int{1, 2, 4}
+		opt.Warmup, opt.Measure, opt.Drain = 16, 32, 64
+		var mu sync.Mutex
+		got := make([]ClosedLoopRow, len(opt.Patterns)*len(opt.Windows)*len(opt.Routers))
+		opt.Emit = func(i int, row ClosedLoopRow) {
+			mu.Lock()
+			got[i] = row
+			mu.Unlock()
+		}
+		rows, err := ClosedLoopSweepWorkers(opt, 42, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rows, got) {
+			t.Fatal("emitted rows differ from returned rows")
+		}
+	})
+	t.Run("reliability", func(t *testing.T) {
+		opt := DefaultReliability()
+		opt.Dims = []int{4, 4}
+		opt.FaultRates = []float64{0, 0.01}
+		opt.Trials = 4
+		opt.Warmup, opt.Measure, opt.Drain = 16, 32, 64
+		var mu sync.Mutex
+		got := make([]ReliabilityRow, len(opt.Patterns)*len(opt.FaultRates)*len(opt.Routers))
+		opt.Emit = func(i int, row ReliabilityRow) {
+			mu.Lock()
+			got[i] = row
+			mu.Unlock()
+		}
+		rows, err := ReliabilitySweepWorkers(opt, 42, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rows, got) {
+			t.Fatal("emitted rows differ from returned rows")
+		}
+	})
+}
+
+// TestSweepCancel pins the cooperative-cancellation contract: a Cancel
+// hook that trips mid-sweep aborts with ErrCanceled, and — the part the
+// daemon depends on — every pooled simulation still comes back to the
+// reservoir clean, because the abort path runs the same deferred engine
+// cleanup as a completed cell.
+func TestSweepCancel(t *testing.T) {
+	opt := smallSaturation()
+	pool := NewEnginePool(0)
+	opt.Pool = pool
+	var polls atomic.Int64
+	opt.Cancel = func() bool {
+		// Let the first cell start, then trip: the abort exercises both the
+		// pre-cell check and the in-cell step poll.
+		return polls.Add(1) > 2
+	}
+	_, err := SaturationSweepWorkers(opt, 42, 2)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if err := pool.VerifyClean(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Canceled before anything ran: still ErrCanceled, still clean.
+	opt.Cancel = func() bool { return true }
+	if _, err := SaturationSweepWorkers(opt, 42, 1); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if err := pool.VerifyClean(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadRunCancel covers the single-cell entry: a canceled LoadRun
+// reports ErrCanceled and releases a clean engine.
+func TestLoadRunCancel(t *testing.T) {
+	pool := NewEnginePool(0)
+	_, err := LoadRun(LoadOptions{
+		Dims: []int{6, 6}, Router: "limited", Pattern: "uniform",
+		Rate: 0.2, Warmup: 16, Measure: 48, Drain: 64, Seed: 7,
+		Pool:   pool,
+		Cancel: func() bool { return true },
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if err := pool.VerifyClean(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,7 @@ package ndmesh
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ndmesh/internal/grid"
 	"ndmesh/internal/par"
@@ -70,6 +71,16 @@ type ReliabilityOptions struct {
 	// Progress, when non-nil, is called after every completed trial with
 	// (done, total); must be safe for concurrent use.
 	Progress func(done, total int)
+	// Pool/Cancel mirror the SaturationOptions fields of the same names:
+	// a shared warm-engine reservoir and the cooperative cancellation
+	// poll (aborts with ErrCanceled). Emit streams each row as soon as
+	// the LAST of its Monte-Carlo trials lands (the per-cell fold is the
+	// same serial pass the returned slice is built from, so an emitted
+	// row is byte-identical to its batch counterpart); calls arrive from
+	// worker goroutines in completion order, identified by cell index.
+	Pool   *EnginePool                         `json:"-"`
+	Emit   func(index int, row ReliabilityRow) `json:"-"`
+	Cancel func() bool                         `json:"-"`
 }
 
 // DefaultReliability returns the standard E23 configuration: an 8x8 mesh
@@ -203,7 +214,24 @@ func reliabilitySweep(opt ReliabilityOptions, seed uint64) ([]ReliabilityRow, er
 	rngs := splitN(seed, jobs)
 	pts := make([]traffic.LoadPoint, jobs)
 	progress := progressCounter(opt.Progress, jobs)
-	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
+	// With a streaming hook, each cell's fold runs as soon as its last
+	// trial lands: the countdown's atomic decrement orders every trial's
+	// pts write before the fold that reads them, and the fold itself is
+	// the same deterministic serial pass over pts that builds the
+	// returned slice — which worker triggers it cannot reach the row.
+	var remaining []int32
+	if opt.Emit != nil {
+		remaining = make([]int32, cells)
+		for c := range remaining {
+			remaining[c] = int32(nt)
+		}
+	}
+	co := opt.Pool.checkout()
+	defer co.release()
+	err = par.ForState(opt.Workers, jobs, co.worker, func(p *simPool, j int) error {
+		if opt.Cancel != nil && opt.Cancel() {
+			return ErrCanceled
+		}
 		cell := j / nt
 		pattern := opt.Patterns[cell/(nf*nk)]
 		faultRate := opt.FaultRates[cell/nk%nf]
@@ -219,12 +247,16 @@ func reliabilitySweep(opt ReliabilityOptions, seed uint64) ([]ReliabilityRow, er
 			FaultShape: opt.FaultShape, FaultRepair: opt.FaultRepair,
 			Clustered: opt.Clustered,
 			Shards:    opt.Shards,
+			Cancel:    opt.Cancel,
 		}
 		pt, err := p.loadPoint(sopt, workload{pattern: pattern, rate: opt.Rate}, opt.Routers[cell%nk], rngs[j])
 		if err != nil {
 			return err
 		}
 		pts[j] = pt
+		if opt.Emit != nil && atomic.AddInt32(&remaining[cell], -1) == 0 {
+			opt.Emit(cell, foldReliabilityCell(&opt, shape, pts, cell, nf, nk, nt))
+		}
 		progress()
 		return nil
 	})
@@ -232,63 +264,72 @@ func reliabilitySweep(opt ReliabilityOptions, seed uint64) ([]ReliabilityRow, er
 		return nil, err
 	}
 
-	// Serial fold: trial points into one row per cell, in cell order.
+	// Serial fold: trial points into one row per cell, in cell order (the
+	// streaming path above already folded; re-folding is cheap and keeps
+	// the two paths trivially identical).
 	rows := make([]ReliabilityRow, cells)
 	for c := 0; c < cells; c++ {
-		row := ReliabilityRow{
-			Dims:      shape.String(),
-			Pattern:   opt.Patterns[c/(nf*nk)],
-			Router:    opt.Routers[c%nk],
-			FaultRate: opt.FaultRates[c/nk%nf],
-			Trials:    nt,
-		}
-		failed, recovered := 0, 0
-		latNum, accepted := 0.0, 0.0
-		p50, p99 := 0.0, 0.0
-		delTrials := 0
-		for t := 0; t < nt; t++ {
-			pt := pts[c*nt+t]
-			row.Injected += pt.Injected
-			row.Delivered += pt.Delivered
-			row.Unreachable += pt.Unreachable
-			row.Lost += pt.Lost
-			row.TimedOut += pt.TimedOut
-			row.Unfinished += pt.Unfinished
-			row.RetryDropped += pt.RetryDropped
-			failed += pt.Failed
-			recovered += pt.Recovered
-			accepted += pt.AcceptedRate
-			if pt.Gridlocked {
-				row.GridlockedTrials++
-			}
-			if pt.Delivered > 0 {
-				latNum += pt.Latency.Mean * float64(pt.Delivered)
-				p50 += float64(pt.Latency.P50)
-				p99 += float64(pt.Latency.P99)
-				delTrials++
-				if pt.Latency.Max > row.LatMax {
-					row.LatMax = pt.Latency.Max
-				}
-			}
-		}
-		if row.Injected > 0 {
-			inj := float64(row.Injected)
-			row.DeliveredFrac = float64(row.Delivered) / inj
-			row.UnreachableFrac = float64(row.Unreachable) / inj
-			row.LostFrac = float64(row.Lost) / inj
-			row.TimedOutFrac = float64(row.TimedOut) / inj
-		}
-		row.MeanFailed = float64(failed) / float64(nt)
-		row.MeanRecovered = float64(recovered) / float64(nt)
-		row.AcceptedRate = accepted / float64(nt)
-		if row.Delivered > 0 {
-			row.LatMean = latNum / float64(row.Delivered)
-		}
-		if delTrials > 0 {
-			row.LatP50Mean = p50 / float64(delTrials)
-			row.LatP99Mean = p99 / float64(delTrials)
-		}
-		rows[c] = row
+		rows[c] = foldReliabilityCell(&opt, shape, pts, c, nf, nk, nt)
 	}
 	return rows, nil
+}
+
+// foldReliabilityCell folds one cell's Monte-Carlo trial points into its
+// row — a deterministic serial pass in trial order, shared verbatim by the
+// batch aggregation and the streaming Emit path.
+func foldReliabilityCell(opt *ReliabilityOptions, shape *grid.Shape, pts []traffic.LoadPoint, c, nf, nk, nt int) ReliabilityRow {
+	row := ReliabilityRow{
+		Dims:      shape.String(),
+		Pattern:   opt.Patterns[c/(nf*nk)],
+		Router:    opt.Routers[c%nk],
+		FaultRate: opt.FaultRates[c/nk%nf],
+		Trials:    nt,
+	}
+	failed, recovered := 0, 0
+	latNum, accepted := 0.0, 0.0
+	p50, p99 := 0.0, 0.0
+	delTrials := 0
+	for t := 0; t < nt; t++ {
+		pt := pts[c*nt+t]
+		row.Injected += pt.Injected
+		row.Delivered += pt.Delivered
+		row.Unreachable += pt.Unreachable
+		row.Lost += pt.Lost
+		row.TimedOut += pt.TimedOut
+		row.Unfinished += pt.Unfinished
+		row.RetryDropped += pt.RetryDropped
+		failed += pt.Failed
+		recovered += pt.Recovered
+		accepted += pt.AcceptedRate
+		if pt.Gridlocked {
+			row.GridlockedTrials++
+		}
+		if pt.Delivered > 0 {
+			latNum += pt.Latency.Mean * float64(pt.Delivered)
+			p50 += float64(pt.Latency.P50)
+			p99 += float64(pt.Latency.P99)
+			delTrials++
+			if pt.Latency.Max > row.LatMax {
+				row.LatMax = pt.Latency.Max
+			}
+		}
+	}
+	if row.Injected > 0 {
+		inj := float64(row.Injected)
+		row.DeliveredFrac = float64(row.Delivered) / inj
+		row.UnreachableFrac = float64(row.Unreachable) / inj
+		row.LostFrac = float64(row.Lost) / inj
+		row.TimedOutFrac = float64(row.TimedOut) / inj
+	}
+	row.MeanFailed = float64(failed) / float64(nt)
+	row.MeanRecovered = float64(recovered) / float64(nt)
+	row.AcceptedRate = accepted / float64(nt)
+	if row.Delivered > 0 {
+		row.LatMean = latNum / float64(row.Delivered)
+	}
+	if delTrials > 0 {
+		row.LatP50Mean = p50 / float64(delTrials)
+		row.LatP99Mean = p99 / float64(delTrials)
+	}
+	return row
 }

@@ -111,6 +111,25 @@ type SaturationOptions struct {
 	// (done, total) — the sweep CLIs wire it to a stderr printer. Called
 	// from worker goroutines; must be safe for concurrent use.
 	Progress func(done, total int) `json:"-"`
+	// Pool, when non-nil, is a shared reservoir of warm simulations the
+	// sweep's workers draw from and return to when the sweep ends (the
+	// meshd daemon's engine-pool lifecycle — see pool.go). Nil keeps the
+	// classic behavior: worker-local simulations built per sweep. Pooling
+	// is invisible in the rows: a reused simulation is Reset first, so
+	// results are byte-identical with or without a pool.
+	Pool *EnginePool `json:"-"`
+	// Emit, when non-nil, is called once per completed cell with (index,
+	// row) — the streaming hook meshd serves NDJSON rows from. Calls
+	// arrive from worker goroutines in completion order (NOT index
+	// order), carrying exactly the row the returned slice holds at that
+	// index; a caller re-sequencing by index therefore reproduces the
+	// batch output byte-for-byte. Must be safe for concurrent use.
+	Emit func(index int, row SaturationRow) `json:"-"`
+	// Cancel, when non-nil, is polled before every cell and every
+	// cancelCheckInterval steps inside one; returning true aborts the
+	// sweep with ErrCanceled. The abort path runs the same engine cleanup
+	// as a completed cell, so pooled simulations come back clean.
+	Cancel func() bool `json:"-"`
 }
 
 // DefaultSaturation returns the standard configuration: an 8x8 mesh,
@@ -182,7 +201,12 @@ func saturationSweep(opt SaturationOptions, seed uint64) ([]SaturationRow, error
 	rngs := splitN(seed, jobs)
 	rows := make([]SaturationRow, jobs)
 	progress := progressCounter(opt.Progress, jobs)
-	err = par.ForState(opt.Workers, jobs, newSimPool, func(p *simPool, j int) error {
+	co := opt.Pool.checkout()
+	defer co.release()
+	err = par.ForState(opt.Workers, jobs, co.worker, func(p *simPool, j int) error {
+		if opt.Cancel != nil && opt.Cancel() {
+			return ErrCanceled
+		}
 		pi := j / (len(opt.Rates) * len(opt.Routers))
 		ri := j / len(opt.Routers) % len(opt.Rates)
 		ki := j % len(opt.Routers)
@@ -208,6 +232,9 @@ func saturationSweep(opt SaturationOptions, seed uint64) ([]SaturationRow, error
 			LatP95:       pt.Latency.P95,
 			LatP99:       pt.Latency.P99,
 			LatMax:       pt.Latency.Max,
+		}
+		if opt.Emit != nil {
+			opt.Emit(j, rows[j])
 		}
 		progress()
 		return nil
@@ -602,6 +629,12 @@ func (p *simPool) loadPoint(opt SaturationOptions, wl workload, router string, r
 
 	total := ph.Total()
 	for ; step < total; step++ {
+		// Poll the caller's cancellation hook on a coarse cadence: the
+		// deferred cleanup above runs on this exit path too, so an aborted
+		// cell hands its engine back exactly as clean as a finished one.
+		if opt.Cancel != nil && step%cancelCheckInterval == 0 && opt.Cancel() {
+			return traffic.LoadPoint{}, ErrCanceled
+		}
 		if step < ph.InjectUntil() {
 			src.Step(emit)
 			if injectErr != nil {
@@ -718,6 +751,12 @@ type LoadOptions struct {
 	// unbounded buffers on the replay of a finite-capacity trace takes a
 	// negative NodeCapacity.
 	Replay *traffic.Trace `json:"-"`
+	// Pool, when non-nil, serves the run from a shared reservoir of warm
+	// simulations and returns the engine afterwards (see
+	// SaturationOptions.Pool); Cancel aborts the run with ErrCanceled
+	// when it returns true (polled every cancelCheckInterval steps).
+	Pool   *EnginePool `json:"-"`
+	Cancel func() bool `json:"-"`
 }
 
 // applyReplay resolves the trace-inheritance rules into opt: the trace is
@@ -790,6 +829,7 @@ func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
 		FaultShape: opt.FaultShape, FaultRepair: opt.FaultRepair,
 		Shards: opt.Shards,
 		Probe:  opt.Probe, ProbeEvery: opt.ProbeEvery,
+		Cancel: opt.Cancel,
 	}
 	if opt.Window > 0 || opt.Replay != nil {
 		// Closed-loop and replay runs have no live arrival process to
@@ -804,7 +844,9 @@ func LoadRun(opt LoadOptions) (traffic.LoadPoint, error) {
 	} else if err := validateSaturation(&sopt); err != nil {
 		return traffic.LoadPoint{}, err
 	}
-	pool := newSimPool()
+	co := opt.Pool.checkout()
+	defer co.release()
+	pool := co.worker()
 	r := rng.New(opt.Seed).Split() // match the sweep's per-job stream derivation
 	wl := workload{pattern: opt.Pattern, rate: opt.Rate, window: opt.Window,
 		replay: opt.Replay, record: opt.Record}
